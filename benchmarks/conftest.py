@@ -1,0 +1,20 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's results.  The abstract machine
+is deterministic, so a single round per benchmark is enough — repeated rounds
+would measure the Python interpreter, not the simulated kernel.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

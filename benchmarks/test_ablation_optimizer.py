@@ -1,0 +1,44 @@
+"""A1 — ablation: Deputy's redundant-check optimizer.
+
+DESIGN.md calls out the check optimizer as a design choice; this ablation
+measures how many run-time checks it removes and what that is worth on a
+latency-sensitive benchmark.
+"""
+
+from conftest import run_once
+from repro.deputy import DeputyOptions
+from repro.harness import run_deputy_stats
+from repro.hbench import get_benchmark
+from repro.kernel.boot import boot_kernel
+from repro.kernel.build import BuildConfig
+
+
+def _checks_with(optimize: bool) -> tuple[int, int]:
+    result = run_deputy_stats(DeputyOptions(optimize=optimize))
+    return result.report.checks_inserted, result.report.checks_elided
+
+
+def test_optimizer_removes_redundant_checks(benchmark):
+    inserted_on, elided_on = run_once(benchmark, _checks_with, True)
+    inserted_off, elided_off = _checks_with(False)
+    print()
+    print(f"optimizer on : {inserted_on} checks inserted, {elided_on} elided")
+    print(f"optimizer off: {inserted_off} checks inserted, {elided_off} elided")
+    assert elided_off == 0
+    assert elided_on > 20
+    assert inserted_on < inserted_off
+
+
+def test_optimizer_improves_latency_benchmarks(benchmark):
+    def measure(optimize: bool) -> int:
+        kernel = boot_kernel(
+            BuildConfig(deputy=True, deputy_options=DeputyOptions(optimize=optimize)),
+            reset_cycles_after_boot=True)
+        return get_benchmark("lat_fs").measure(kernel)
+
+    with_optimizer = run_once(benchmark, measure, True)
+    without_optimizer = measure(False)
+    print()
+    print(f"lat_fs cycles with optimizer   : {with_optimizer}")
+    print(f"lat_fs cycles without optimizer: {without_optimizer}")
+    assert with_optimizer <= without_optimizer

@@ -1,0 +1,47 @@
+"""E4/A2 — CCount run-time overheads (§2.2).
+
+The paper: fork costs 19% more under CCount on a uniprocessor kernel and 63%
+more on an SMP kernel (locked reference-count updates); module loading costs
+8% / 12%.  The reproduced claims are the orderings (SMP > UP, fork > module)
+and the rough magnitudes, plus the A2 ablation sweeping the locked-operation
+cost.
+"""
+
+from conftest import run_once
+from repro.harness import (
+    PAPER_CCOUNT_OVERHEADS,
+    run_ccount_overheads,
+    run_locked_cost_sweep,
+)
+
+
+def test_ccount_fork_and_module_overheads(benchmark):
+    result = run_once(benchmark, run_ccount_overheads)
+    print()
+    print(result.format_table())
+    fork_up = result.row("fork", "up").overhead
+    fork_smp = result.row("fork", "smp").overhead
+    module_up = result.row("module", "up").overhead
+    module_smp = result.row("module", "smp").overhead
+    # Orderings from the paper.
+    assert fork_smp > fork_up
+    assert module_smp >= module_up
+    assert fork_up > module_up
+    # Rough magnitudes (within a factor of ~2.5 of the paper's numbers).
+    assert 0.05 <= fork_up <= 0.45
+    assert 0.25 <= fork_smp <= 1.2
+    assert 0.0 <= module_up <= 0.25
+    assert result.shape_holds()
+
+
+def test_ccount_locked_cost_ablation(benchmark):
+    """A2: fork overhead grows monotonically with the locked-operation cost,
+    which is the paper's explanation (footnote 4) for the 63% SMP number."""
+    sweep = run_once(benchmark, run_locked_cost_sweep, (0, 8, 16, 24))
+    overheads = [overhead for _, overhead in sweep]
+    print()
+    for cost, overhead in sweep:
+        print(f"locked-op extra cost {cost:>3}: fork overhead {overhead:.1%}")
+    assert all(later >= earlier - 0.01
+               for earlier, later in zip(overheads, overheads[1:]))
+    assert overheads[-1] > overheads[0]

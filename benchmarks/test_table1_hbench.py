@@ -1,0 +1,55 @@
+"""E1 — Table 1: relative performance of the deputized kernel on hbench.
+
+Regenerates the paper's only table: 21 bandwidth/latency micro-benchmarks run
+on the baseline and the Deputy-instrumented mini-kernel, reported as relative
+performance with the paper's conventions (bw = relative throughput, lat =
+relative latency).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness import run_table1
+from repro.hbench import PAPER_TABLE1
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1()
+
+
+def test_table1_full_suite(benchmark, table1_result):
+    """Print the regenerated Table 1 and check its qualitative shape."""
+    result = run_once(benchmark, lambda: table1_result)
+    print()
+    print(result.format_table())
+    assert len(result.suite.rows) == 21
+    assert result.shape_holds()
+
+
+def test_table1_bandwidth_rows_lose_little_throughput(table1_result):
+    for row in table1_result.suite.bandwidth_rows():
+        assert row.relative >= 0.70, f"{row.name} lost too much bandwidth"
+
+
+def test_table1_latency_rows_bounded(table1_result):
+    for row in table1_result.suite.latency_rows():
+        assert 0.95 <= row.relative <= 2.2, f"{row.name} latency out of range"
+
+
+def test_table1_latency_overhead_exceeds_bandwidth_overhead(table1_result):
+    bw = table1_result.suite.bandwidth_rows()
+    lat = table1_result.suite.latency_rows()
+    bw_overhead = sum(1.0 / r.relative for r in bw) / len(bw) - 1.0
+    lat_overhead = sum(r.relative for r in lat) / len(lat) - 1.0
+    assert lat_overhead >= bw_overhead
+
+
+def test_table1_worst_cases_are_network_paths(table1_result):
+    """The paper's worst cases are bw_tcp (bandwidth) and lat_udp/lat_tcp
+    (latency); in our reproduction the network and fs paths likewise carry the
+    largest overheads."""
+    worst_bw = min(table1_result.suite.bandwidth_rows(), key=lambda r: r.relative)
+    assert worst_bw.name in {"bw_tcp", "bw_file_rd", "bw_mmap_rd"}
+    worst_lat = max(table1_result.suite.latency_rows(), key=lambda r: r.relative)
+    assert worst_lat.name in {"lat_udp", "lat_tcp", "lat_fs", "lat_fslayer", "lat_proc"}

@@ -1,0 +1,24 @@
+"""repro: sound program analysis for a simulated Linux-like kernel.
+
+A reproduction of "Beyond Bug-Finding: Sound Program Analysis for Linux"
+(HotOS 2007).  The package provides:
+
+* :mod:`repro.minic` — a kernel-flavoured C frontend (lexer, parser, types);
+* :mod:`repro.machine` — an abstract machine with a deterministic cycle model;
+* :mod:`repro.deputy` — dependent-pointer type checking with run-time checks;
+* :mod:`repro.ccount` — reference-count verification of manual deallocation;
+* :mod:`repro.blockstop` — call-graph analysis of blocking in atomic context;
+* :mod:`repro.analyses` — the paper's proposed future analyses;
+* :mod:`repro.repository` — the shared annotation repository;
+* :mod:`repro.kernel` — the mini-kernel corpus and build system;
+* :mod:`repro.hbench` — the hbench-like micro-benchmark suite;
+* :mod:`repro.harness` — experiment drivers that regenerate the paper's table
+  and in-text evaluation numbers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "minic", "annotations", "machine", "deputy", "ccount", "blockstop",
+    "analyses", "repository", "kernel", "hbench", "harness",
+]

@@ -1,0 +1,11 @@
+"""The paper's proposed future analyses (§3.1): locks, stack depth, error codes."""
+
+from .errcheck import ErrcheckReport, UncheckedCall, analyse_error_checks
+from .lockcheck import LockAcquisition, LockReport, analyse_locks
+from .stackcheck import KERNEL_STACK_BYTES, StackReport, analyse_stack, frame_size
+
+__all__ = [
+    "ErrcheckReport", "UncheckedCall", "analyse_error_checks",
+    "LockAcquisition", "LockReport", "analyse_locks",
+    "KERNEL_STACK_BYTES", "StackReport", "analyse_stack", "frame_size",
+]

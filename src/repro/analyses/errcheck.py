@@ -1,0 +1,132 @@
+"""Future analysis (§3.1): error-code checking at call sites.
+
+Functions whose negative return values are error codes (either annotated with
+``errcodes(...)`` or detected by the "negative constant returns are errors"
+heuristic the paper suggests) must have their results checked by callers.
+A call whose result is discarded, or stored and never compared, is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..annotations.attrs import AnnotationKind
+from ..machine.program import Program
+from ..minic import ast_nodes as ast
+from ..minic.visitor import walk
+
+
+@dataclass(frozen=True)
+class UncheckedCall:
+    """A call whose error return value is never examined."""
+
+    caller: str
+    callee: str
+    location: object
+    reason: str
+
+
+@dataclass
+class ErrcheckReport:
+    """Result of the error-code analysis."""
+
+    error_returning: set[str] = field(default_factory=set)
+    checked_calls: int = 0
+    unchecked: list[UncheckedCall] = field(default_factory=list)
+
+    @property
+    def unchecked_count(self) -> int:
+        return len(self.unchecked)
+
+
+def find_error_returning_functions(program: Program) -> set[str]:
+    """Functions that may return a negative error constant."""
+    result: set[str] = set()
+    for name in program.all_function_names():
+        annotations = program.function_annotations(name)
+        if annotations.has(AnnotationKind.ERRCODES):
+            result.add(name)
+    for name, func in program.functions.items():
+        for node in walk(func.body):
+            if isinstance(node, ast.Return) and node.value is not None:
+                value = node.value
+                if (isinstance(value, ast.Unary) and value.op == "-"
+                        and isinstance(value.operand, ast.IntLit)
+                        and value.operand.value > 0):
+                    result.add(name)
+                    break
+    return result
+
+
+def analyse_error_checks(program: Program) -> ErrcheckReport:
+    """Check that error-returning calls have their results examined."""
+    report = ErrcheckReport()
+    report.error_returning = find_error_returning_functions(program)
+    for caller, func in program.functions.items():
+        _scan_function(report, program, caller, func)
+    return report
+
+
+def _scan_function(report: ErrcheckReport, program: Program, caller: str,
+                   func: ast.FuncDef) -> None:
+    checked_names: set[str] = set()
+    assigned: dict[str, ast.Call] = {}
+    for node in walk(func.body):
+        # result-compared-to-something counts as a check
+        if isinstance(node, ast.Binary) and node.op in ("<", "<=", "==", "!=", ">", ">="):
+            for side in (node.left, node.right):
+                if isinstance(side, ast.Ident):
+                    checked_names.add(side.name)
+        if isinstance(node, ast.If) and isinstance(node.cond, ast.Ident):
+            checked_names.add(node.cond.name)
+    for node in walk(func.body):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
+            continue
+        callee = node.func.name
+        if callee not in report.error_returning:
+            continue
+        usage = _call_usage(func, node)
+        if usage == "discarded":
+            report.unchecked.append(UncheckedCall(
+                caller=caller, callee=callee, location=node.location,
+                reason="return value discarded"))
+        elif usage.startswith("assigned:"):
+            variable = usage.split(":", 1)[1]
+            if variable in checked_names:
+                report.checked_calls += 1
+            else:
+                report.unchecked.append(UncheckedCall(
+                    caller=caller, callee=callee, location=node.location,
+                    reason=f"stored in {variable!r} but never compared"))
+        else:
+            report.checked_calls += 1
+
+
+def _call_usage(func: ast.FuncDef, call: ast.Call) -> str:
+    """How the result of ``call`` is used inside ``func``."""
+    for node in walk(func.body):
+        if isinstance(node, ast.ExprStmt) and node.expr is call:
+            return "discarded"
+        if isinstance(node, ast.Assign) and node.value is call:
+            if isinstance(node.target, ast.Ident):
+                return f"assigned:{node.target.name}"
+            return "assigned-to-memory"
+        if isinstance(node, ast.DeclStmt) and node.decl.init is not None \
+                and node.decl.init.expr is call:
+            return f"assigned:{node.decl.name}"
+        if isinstance(node, (ast.If, ast.While)) and _contains(node.cond, call):
+            return "checked-in-condition"
+        if isinstance(node, ast.Return) and node.value is not None \
+                and _contains(node.value, call):
+            return "propagated"
+        if isinstance(node, ast.Binary) and (_is(node.left, call) or _is(node.right, call)):
+            return "checked-in-condition"
+    return "checked-in-condition"
+
+
+def _contains(root: ast.Expr, target: ast.Call) -> bool:
+    return any(node is target for node in walk(root))
+
+
+def _is(node: ast.Expr, target: ast.Call) -> bool:
+    return node is target

@@ -1,0 +1,96 @@
+"""Future analysis (§3.1): hybrid lock-safety checking.
+
+Two properties are checked statically over the call-free, intraprocedural
+lock behaviour of each function, then summarised program-wide:
+
+* **Lock ordering** — if one function acquires lock A and then lock B while a
+  different code path acquires B and then A, the pair is reported as a
+  potential deadlock (inconsistent lock order).
+* **IRQ discipline** — a spinlock that is taken from interrupt context must
+  only be taken with interrupts disabled (``spin_lock_irqsave``) in process
+  context; taking it with plain ``spin_lock`` is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.program import Program
+from ..minic import ast_nodes as ast
+from ..minic.visitor import walk
+
+ACQUIRE_CALLS = {"spin_lock": False, "spin_lock_irqsave": True, "spin_lock_irq": True}
+RELEASE_CALLS = {"spin_unlock", "spin_unlock_irqrestore", "spin_unlock_irq"}
+
+
+@dataclass(frozen=True)
+class LockAcquisition:
+    """One lock acquisition site."""
+
+    function: str
+    lock: str
+    irqsave: bool
+    held_before: tuple[str, ...]
+
+
+@dataclass
+class LockReport:
+    """Result of the lock-safety analysis."""
+
+    acquisitions: list[LockAcquisition] = field(default_factory=list)
+    order_pairs: set[tuple[str, str]] = field(default_factory=set)
+    order_violations: list[tuple[str, str]] = field(default_factory=list)
+    irq_violations: list[LockAcquisition] = field(default_factory=list)
+    irq_context_locks: set[str] = field(default_factory=set)
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not self.order_violations
+
+
+def _lock_name(expr: ast.Expr) -> str:
+    """A stable name for the lock argument expression."""
+    from ..minic.pretty import render_expression
+    return render_expression(expr)
+
+
+def analyse_locks(program: Program,
+                  irq_functions: set[str] | None = None) -> LockReport:
+    """Run the lock-safety analysis over every function of ``program``."""
+    report = LockReport()
+    irq_functions = irq_functions or set()
+    for name, func in program.functions.items():
+        held: list[str] = []
+        for node in walk(func.body):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
+                continue
+            callee = node.func.name
+            if callee in ACQUIRE_CALLS and node.args:
+                lock = _lock_name(node.args[0])
+                acquisition = LockAcquisition(
+                    function=name, lock=lock,
+                    irqsave=ACQUIRE_CALLS[callee],
+                    held_before=tuple(held))
+                report.acquisitions.append(acquisition)
+                for earlier in held:
+                    if earlier != lock:
+                        report.order_pairs.add((earlier, lock))
+                held.append(lock)
+                if name in irq_functions:
+                    report.irq_context_locks.add(lock)
+            elif callee in RELEASE_CALLS and node.args:
+                lock = _lock_name(node.args[0])
+                if lock in held:
+                    held.remove(lock)
+    # Inconsistent ordering: both (A, B) and (B, A) observed.
+    for first, second in sorted(report.order_pairs):
+        if (second, first) in report.order_pairs and (second, first) > (first, second):
+            report.order_violations.append((first, second))
+    # IRQ discipline: locks used in interrupt context must always be taken
+    # with interrupts disabled in process context.
+    for acquisition in report.acquisitions:
+        if (acquisition.lock in report.irq_context_locks
+                and not acquisition.irqsave
+                and acquisition.function not in irq_functions):
+            report.irq_violations.append(acquisition)
+    return report

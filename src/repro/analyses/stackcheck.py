@@ -1,0 +1,115 @@
+"""Future analysis (§3.1): stack-depth bounding.
+
+Given the (BlockStop) call graph and a per-function stack-frame estimate, the
+longest call chain must fit in the kernel's 4 or 8 kB stack.  Recursive
+cycles cannot be bounded statically and are reported as needing a run-time
+check, exactly as the paper proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..annotations.attrs import AnnotationKind
+from ..blockstop.callgraph import CallGraph
+from ..machine.interpreter import ctype_size
+from ..machine.program import Program
+from ..minic import ast_nodes as ast
+from ..minic.visitor import walk
+
+#: Fixed per-call overhead (saved registers, return address), in bytes.
+FRAME_OVERHEAD = 32
+KERNEL_STACK_BYTES = 8 * 1024
+
+
+@dataclass
+class StackReport:
+    """Result of the stack-depth analysis."""
+
+    frame_sizes: dict[str, int] = field(default_factory=dict)
+    max_depth: dict[str, int] = field(default_factory=dict)
+    deepest_chain: list[str] = field(default_factory=list)
+    recursive_functions: set[str] = field(default_factory=set)
+    stack_limit: int = KERNEL_STACK_BYTES
+
+    @property
+    def worst_case(self) -> int:
+        return max(self.max_depth.values(), default=0)
+
+    @property
+    def fits(self) -> bool:
+        return self.worst_case <= self.stack_limit
+
+    @property
+    def runtime_checks_needed(self) -> set[str]:
+        """Recursive functions need run-time stack checks."""
+        return set(self.recursive_functions)
+
+
+def frame_size(program: Program, func: ast.FuncDef) -> int:
+    """Estimate one function's stack frame: locals + parameters + overhead.
+
+    A ``stacksize(n)`` annotation overrides the estimate, mirroring the
+    paper's "stack space annotations on each function".
+    """
+    annotation = program.function_annotations(func.name).get(AnnotationKind.STACKSIZE)
+    if annotation is not None and annotation.args:
+        arg = annotation.args[0]
+        if isinstance(arg, ast.IntLit):
+            return arg.value
+    total = FRAME_OVERHEAD
+    ftype = func.type.strip()
+    for param in getattr(ftype, "params", []):
+        total += max(ctype_size(param.type), 4)
+    for node in walk(func.body):
+        if isinstance(node, ast.Declaration) and not node.is_typedef:
+            try:
+                total += max(ctype_size(node.type), 4)
+            except Exception:
+                total += 4
+    return total
+
+
+def analyse_stack(program: Program, graph: CallGraph,
+                  stack_limit: int = KERNEL_STACK_BYTES) -> StackReport:
+    """Compute worst-case stack depth for every function."""
+    report = StackReport(stack_limit=stack_limit)
+    for name, func in program.functions.items():
+        report.frame_sizes[name] = frame_size(program, func)
+
+    # Depth-first longest-path with cycle detection.
+    def depth_of(name: str, visiting: tuple[str, ...]) -> int:
+        if name in visiting:
+            report.recursive_functions.add(name)
+            return 0
+        cached = report.max_depth.get(name)
+        if cached is not None:
+            return cached
+        own = report.frame_sizes.get(name, FRAME_OVERHEAD)
+        deepest = 0
+        for callee in sorted(graph.callees(name)):
+            if callee not in report.frame_sizes:
+                continue
+            deepest = max(deepest, depth_of(callee, visiting + (name,)))
+        total = own + deepest
+        report.max_depth[name] = total
+        return total
+
+    for name in sorted(report.frame_sizes):
+        depth_of(name, ())
+
+    # Reconstruct the deepest chain for the report.
+    if report.max_depth:
+        current = max(report.max_depth, key=lambda n: report.max_depth[n])
+        chain = [current]
+        while True:
+            callees = [c for c in graph.callees(current) if c in report.max_depth]
+            if not callees:
+                break
+            next_callee = max(callees, key=lambda n: report.max_depth[n])
+            if report.max_depth[next_callee] >= report.max_depth[current]:
+                break
+            chain.append(next_callee)
+            current = next_callee
+        report.deepest_chain = chain
+    return report

@@ -1,0 +1,31 @@
+"""The shared annotation vocabulary used by Deputy, CCount and BlockStop."""
+
+from .attrs import (
+    BLOCKSTOP_KINDS,
+    DEPUTY_KINDS,
+    FUTURE_KINDS,
+    KEYWORD_TO_KIND,
+    KIND_TO_KEYWORD,
+    NULLARY_KINDS,
+    Annotation,
+    AnnotationKind,
+    AnnotationSet,
+    empty,
+)
+from .erase import erase_type, erase_unit, erased_source
+from .parse import (
+    annotation_census,
+    annotation_free_variables,
+    format_census,
+    has_blocking_annotation,
+    parse_annotation,
+)
+
+__all__ = [
+    "Annotation", "AnnotationKind", "AnnotationSet", "empty",
+    "KEYWORD_TO_KIND", "KIND_TO_KEYWORD", "NULLARY_KINDS",
+    "DEPUTY_KINDS", "BLOCKSTOP_KINDS", "FUTURE_KINDS",
+    "erase_type", "erase_unit", "erased_source",
+    "parse_annotation", "annotation_census", "annotation_free_variables",
+    "format_census", "has_blocking_annotation",
+]

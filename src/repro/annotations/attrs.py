@@ -1,0 +1,177 @@
+"""Annotation attributes shared by Deputy, CCount and BlockStop.
+
+The paper's central design point is a small vocabulary of *lightweight,
+untrusted* annotations that extend ordinary C type declarations.  This module
+defines that vocabulary.  Annotations are attached to declarators (pointer
+types, parameters, functions) by the parser, and each analysis consumes the
+subset it understands while ignoring the rest — exactly the "erasure
+semantics" the paper requires.
+
+The annotation argument expressions (for example the ``n`` in ``count(n)``)
+are stored as unparsed AST expressions so the checkers can evaluate them in
+the environment of the annotated declaration, which is what makes Deputy's
+types *dependent*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Iterable, Iterator
+
+
+class AnnotationKind(Enum):
+    """All annotation kinds recognized by the toolchain."""
+
+    # Deputy (type safety)
+    COUNT = auto()          # count(n): pointer to >= n elements
+    BOUND = auto()          # bound(lo, hi): explicit bounds expressions
+    NULLTERM = auto()       # nullterm: null-terminated sequence
+    NONNULL = auto()        # nonnull: never null
+    OPT = auto()            # opt: may be null (checked before deref)
+    SENTINEL = auto()       # sentinel: one-past-the-end pointer, not dereferenceable
+    WHEN = auto()           # when(cond): union member active when cond holds
+    TRUSTED = auto()        # trusted: skip checking, count as trusted code
+
+    # BlockStop (blocking / interrupt discipline)
+    BLOCKING = auto()           # function may sleep
+    NOBLOCK = auto()            # function asserted never to sleep
+    BLOCKING_IF_WAIT = auto()   # blocks iff its flags argument has GFP_WAIT set
+
+    # Future analyses (section 3.1)
+    ACQUIRES = auto()       # acquires(lock): function takes this lock
+    RELEASES = auto()       # releases(lock): function releases this lock
+    LOCKS_IRQ = auto()      # locks_irq(lock): lock also taken from IRQ context
+    STACKSIZE = auto()      # stacksize(n): stack frame size hint
+    ERRCODES = auto()       # errcodes(a, b, ...): possible error return codes
+
+
+#: Mapping from surface keyword to annotation kind.
+KEYWORD_TO_KIND: dict[str, AnnotationKind] = {
+    "count": AnnotationKind.COUNT,
+    "bound": AnnotationKind.BOUND,
+    "nullterm": AnnotationKind.NULLTERM,
+    "nonnull": AnnotationKind.NONNULL,
+    "opt": AnnotationKind.OPT,
+    "sentinel": AnnotationKind.SENTINEL,
+    "when": AnnotationKind.WHEN,
+    "trusted": AnnotationKind.TRUSTED,
+    "blocking": AnnotationKind.BLOCKING,
+    "noblock": AnnotationKind.NOBLOCK,
+    "blocking_if_wait": AnnotationKind.BLOCKING_IF_WAIT,
+    "acquires": AnnotationKind.ACQUIRES,
+    "releases": AnnotationKind.RELEASES,
+    "locks_irq": AnnotationKind.LOCKS_IRQ,
+    "stacksize": AnnotationKind.STACKSIZE,
+    "errcodes": AnnotationKind.ERRCODES,
+}
+
+KIND_TO_KEYWORD: dict[AnnotationKind, str] = {v: k for k, v in KEYWORD_TO_KIND.items()}
+
+#: Kinds that take no arguments.
+NULLARY_KINDS: frozenset[AnnotationKind] = frozenset({
+    AnnotationKind.NULLTERM, AnnotationKind.NONNULL, AnnotationKind.OPT,
+    AnnotationKind.SENTINEL, AnnotationKind.TRUSTED, AnnotationKind.BLOCKING,
+    AnnotationKind.NOBLOCK, AnnotationKind.BLOCKING_IF_WAIT,
+})
+
+#: Kinds understood by each tool (used by erasure and by the repository).
+DEPUTY_KINDS: frozenset[AnnotationKind] = frozenset({
+    AnnotationKind.COUNT, AnnotationKind.BOUND, AnnotationKind.NULLTERM,
+    AnnotationKind.NONNULL, AnnotationKind.OPT, AnnotationKind.SENTINEL,
+    AnnotationKind.WHEN, AnnotationKind.TRUSTED,
+})
+BLOCKSTOP_KINDS: frozenset[AnnotationKind] = frozenset({
+    AnnotationKind.BLOCKING, AnnotationKind.NOBLOCK,
+    AnnotationKind.BLOCKING_IF_WAIT,
+})
+FUTURE_KINDS: frozenset[AnnotationKind] = frozenset({
+    AnnotationKind.ACQUIRES, AnnotationKind.RELEASES, AnnotationKind.LOCKS_IRQ,
+    AnnotationKind.STACKSIZE, AnnotationKind.ERRCODES,
+})
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A single annotation instance, e.g. ``count(len)``.
+
+    ``args`` holds AST expression nodes (from :mod:`repro.minic.ast_nodes`);
+    they are kept opaque here to avoid a circular import.
+    """
+
+    kind: AnnotationKind
+    args: tuple[Any, ...] = ()
+
+    @property
+    def keyword(self) -> str:
+        return KIND_TO_KEYWORD[self.kind]
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.keyword
+        rendered = ", ".join(_render_arg(a) for a in self.args)
+        return f"{self.keyword}({rendered})"
+
+
+def _render_arg(arg: Any) -> str:
+    """Best-effort rendering of an annotation argument for display."""
+    # The pretty printer renders real expressions; fall back to str().
+    try:
+        from ..minic.pretty import render_expression
+        return render_expression(arg)
+    except Exception:
+        return str(arg)
+
+
+@dataclass
+class AnnotationSet:
+    """An ordered collection of annotations attached to one declarator."""
+
+    annotations: list[Annotation] = field(default_factory=list)
+
+    def add(self, annotation: Annotation) -> None:
+        self.annotations.append(annotation)
+
+    def extend(self, annotations: Iterable[Annotation]) -> None:
+        for annotation in annotations:
+            self.add(annotation)
+
+    def has(self, kind: AnnotationKind) -> bool:
+        return any(a.kind is kind for a in self.annotations)
+
+    def get(self, kind: AnnotationKind) -> Annotation | None:
+        for annotation in self.annotations:
+            if annotation.kind is kind:
+                return annotation
+        return None
+
+    def all_of(self, kind: AnnotationKind) -> list[Annotation]:
+        return [a for a in self.annotations if a.kind is kind]
+
+    def only(self, kinds: frozenset[AnnotationKind]) -> "AnnotationSet":
+        """Return a new set containing only annotations of the given kinds."""
+        return AnnotationSet([a for a in self.annotations if a.kind in kinds])
+
+    def without(self, kinds: frozenset[AnnotationKind]) -> "AnnotationSet":
+        """Return a new set with annotations of the given kinds removed."""
+        return AnnotationSet([a for a in self.annotations if a.kind not in kinds])
+
+    def copy(self) -> "AnnotationSet":
+        return AnnotationSet(list(self.annotations))
+
+    def __iter__(self) -> Iterator[Annotation]:
+        return iter(self.annotations)
+
+    def __len__(self) -> int:
+        return len(self.annotations)
+
+    def __bool__(self) -> bool:
+        return bool(self.annotations)
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self.annotations)
+
+
+def empty() -> AnnotationSet:
+    """Return a fresh empty annotation set."""
+    return AnnotationSet()

@@ -1,0 +1,67 @@
+"""Annotation erasure.
+
+The paper requires that annotations "can be ignored ('erased') by the
+traditional build process": an annotated program with the annotations removed
+is an ordinary program with identical behaviour.  This module implements
+erasure both at the type level (stripping :class:`AnnotationSet` contents from
+types, declarations and functions in place or on a copy) and at the source
+level (the pretty printer's ``erase_annotations`` flag).
+"""
+
+from __future__ import annotations
+
+from ..minic import ast_nodes as ast
+from ..minic.ctypes import CArray, CFunc, CPointer, CStruct, CType
+from ..minic.visitor import walk
+from .attrs import AnnotationSet
+
+
+def erase_type(ctype: CType, _seen: set[int] | None = None) -> None:
+    """Remove all annotations reachable from ``ctype`` (in place)."""
+    seen = _seen if _seen is not None else set()
+    if id(ctype) in seen:
+        return
+    seen.add(id(ctype))
+    if isinstance(ctype, CPointer):
+        ctype.annotations = AnnotationSet()
+        erase_type(ctype.target, seen)
+    elif isinstance(ctype, CArray):
+        erase_type(ctype.element, seen)
+    elif isinstance(ctype, CStruct):
+        ctype.annotations = AnnotationSet()
+        for field in ctype.fields:
+            field.annotations = AnnotationSet()
+            erase_type(field.type, seen)
+    elif isinstance(ctype, CFunc):
+        ctype.annotations = AnnotationSet()
+        for param in ctype.params:
+            param.annotations = AnnotationSet()
+            erase_type(param.type, seen)
+        erase_type(ctype.return_type, seen)
+
+
+def erase_unit(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Remove every annotation from a translation unit (in place).
+
+    Returns the same unit for convenience.
+    """
+    for node in walk(unit):
+        if isinstance(node, ast.Declaration):
+            node.annotations = AnnotationSet()
+            erase_type(node.type)
+        elif isinstance(node, ast.FuncDef):
+            node.annotations = AnnotationSet()
+            erase_type(node.type)
+        elif isinstance(node, ast.Block):
+            node.trusted = False
+        elif isinstance(node, ast.Cast):
+            node.trusted = False
+        elif isinstance(node, ast.StructDecl):
+            erase_type(node.ctype)
+    return unit
+
+
+def erased_source(unit: ast.TranslationUnit) -> str:
+    """Render ``unit`` as plain MiniC with every annotation dropped."""
+    from ..minic.pretty import render_unit
+    return render_unit(unit, erase_annotations=True)

@@ -1,0 +1,108 @@
+"""Helpers for working with annotation expressions.
+
+Annotation arguments are ordinary MiniC expressions parsed in the scope of the
+annotated declaration.  The checkers need a few common manipulations:
+
+* parsing a textual annotation (``"count(len)"``) into an :class:`Annotation`,
+  used by the shared repository when importing externally supplied facts;
+* extracting the free variables of an annotation argument, so Deputy can
+  verify that a ``count(n)`` annotation on a parameter only mentions other
+  parameters or globals that are in scope;
+* a tiny census used by the conversion reports (how many annotations of each
+  kind a program carries).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..minic import ast_nodes as ast
+from ..minic.errors import ParseError
+from ..minic.parser import parse_expression
+from ..minic.visitor import walk
+from .attrs import (
+    KEYWORD_TO_KIND,
+    NULLARY_KINDS,
+    Annotation,
+    AnnotationKind,
+    AnnotationSet,
+)
+
+
+def parse_annotation(text: str) -> Annotation:
+    """Parse ``"count(len)"`` / ``"nullterm"`` style text into an Annotation."""
+    text = text.strip()
+    if "(" not in text:
+        keyword = text
+        if keyword not in KEYWORD_TO_KIND:
+            raise ParseError(f"unknown annotation keyword {keyword!r}")
+        kind = KEYWORD_TO_KIND[keyword]
+        if kind not in NULLARY_KINDS:
+            raise ParseError(f"annotation {keyword!r} requires arguments")
+        return Annotation(kind=kind)
+    keyword, _, rest = text.partition("(")
+    keyword = keyword.strip()
+    if keyword not in KEYWORD_TO_KIND:
+        raise ParseError(f"unknown annotation keyword {keyword!r}")
+    if not rest.endswith(")"):
+        raise ParseError(f"malformed annotation {text!r}")
+    body = rest[:-1].strip()
+    args: list[ast.Expr] = []
+    if body:
+        for part in _split_args(body):
+            args.append(parse_expression(part))
+    return Annotation(kind=KEYWORD_TO_KIND[keyword], args=tuple(args))
+
+
+def _split_args(body: str) -> list[str]:
+    """Split an argument list on top-level commas."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current).strip())
+    return parts
+
+
+def annotation_free_variables(annotation: Annotation) -> set[str]:
+    """Names referenced by the annotation's argument expressions."""
+    names: set[str] = set()
+    for arg in annotation.args:
+        if isinstance(arg, ast.Node):
+            for node in walk(arg):
+                if isinstance(node, ast.Ident):
+                    names.add(node.name)
+    return names
+
+
+def annotation_census(sets: list[AnnotationSet]) -> Counter:
+    """Count annotations by kind across a list of annotation sets."""
+    counts: Counter = Counter()
+    for annotation_set in sets:
+        for annotation in annotation_set:
+            counts[annotation.kind] += 1
+    return counts
+
+
+def format_census(counts: Counter) -> str:
+    """Human-readable rendering of an annotation census."""
+    lines = []
+    for kind, count in sorted(counts.items(), key=lambda kv: kv[0].name):
+        lines.append(f"{kind.name.lower():>18}: {count}")
+    return "\n".join(lines)
+
+
+def has_blocking_annotation(annotations: AnnotationSet) -> bool:
+    """Whether a function is annotated as (conditionally) blocking."""
+    return (annotations.has(AnnotationKind.BLOCKING)
+            or annotations.has(AnnotationKind.BLOCKING_IF_WAIT))

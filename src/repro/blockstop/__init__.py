@@ -1,0 +1,40 @@
+"""BlockStop: whole-program analysis of blocking in atomic context."""
+
+from .blocking import (
+    BlockingInfo,
+    GFP_WAIT_BIT,
+    call_site_may_block,
+    collect_seeds,
+    emit_annotations,
+    propagate_blocking,
+    propagate_over_graph,
+)
+from .callgraph import CallGraph, CallSite, IndirectCall, build_direct_callgraph
+from .checker import (
+    AtomicCallSite,
+    BlockStopChecker,
+    BlockStopResult,
+    Violation,
+    run_blockstop,
+)
+from .pointsto import FunctionPointerAnalysis, PointsToResult, Precision
+from .report import BlockStopReport, build_report
+from .runtime_checks import (
+    ASSERT_BUILTIN,
+    BlockStopRuntimeStats,
+    RuntimeCheckSet,
+    insert_assertions,
+    install,
+)
+
+__all__ = [
+    "BlockingInfo", "GFP_WAIT_BIT", "call_site_may_block", "collect_seeds",
+    "emit_annotations", "propagate_blocking", "propagate_over_graph",
+    "CallGraph", "CallSite", "IndirectCall", "build_direct_callgraph",
+    "AtomicCallSite", "BlockStopChecker", "BlockStopResult", "Violation",
+    "run_blockstop",
+    "FunctionPointerAnalysis", "PointsToResult", "Precision",
+    "BlockStopReport", "build_report",
+    "ASSERT_BUILTIN", "BlockStopRuntimeStats", "RuntimeCheckSet",
+    "insert_assertions", "install",
+]

@@ -1,0 +1,318 @@
+"""The BlockStop checker: no blocking calls while interrupts are disabled.
+
+The analysis proceeds in four steps:
+
+1. build the call graph (direct calls + points-to-resolved indirect calls);
+2. compute the set of functions that may block (backwards propagation of the
+   ``blocking`` annotations, with the GFP_WAIT refinement for allocators);
+3. find every *atomic region*: code executed with interrupts disabled, either
+   because the enclosing function disabled them (``local_irq_save``,
+   ``spin_lock_irqsave``, ``spin_lock_irq``, ``cli``) or because the function
+   is an interrupt handler (registered through ``request_irq``);
+4. report every call site inside an atomic region whose callee may block,
+   excluding paths that run through functions carrying the manual run-time
+   assertion (:mod:`repro.blockstop.runtime_checks`).
+
+Functions containing inline assembly are treated as opaque, matching the
+paper's stated soundness caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.program import Program
+from ..minic import ast_nodes as ast
+from ..minic.errors import SourceLocation
+from ..minic.visitor import walk
+from .blocking import (
+    BlockingInfo,
+    call_site_may_block,
+    collect_seeds,
+    propagate_blocking,
+    propagate_over_graph,
+)
+from .callgraph import CallGraph, build_direct_callgraph
+from .pointsto import FunctionPointerAnalysis, Precision
+from .runtime_checks import RuntimeCheckSet
+
+#: Functions (in the corpus) that disable interrupts until the matching enable.
+IRQ_DISABLE_CALLS = frozenset({
+    "local_irq_disable", "local_irq_save", "spin_lock_irqsave", "spin_lock_irq",
+    "__hw_cli", "cli",
+})
+IRQ_ENABLE_CALLS = frozenset({
+    "local_irq_enable", "local_irq_restore", "spin_unlock_irqrestore",
+    "spin_unlock_irq", "__hw_sti", "sti",
+})
+#: Registration functions whose function-pointer argument runs in IRQ context.
+IRQ_HANDLER_REGISTRATION = frozenset({"request_irq", "register_irq_handler"})
+
+
+@dataclass
+class Violation:
+    """One potential blocking-in-atomic-context bug."""
+
+    caller: str
+    callee: str
+    location: SourceLocation
+    path: list[str] = field(default_factory=list)
+    via_indirect: bool = False
+    silenced_by_check: bool = False
+
+    def describe(self) -> str:
+        chain = " -> ".join(self.path) if self.path else f"{self.caller} -> {self.callee}"
+        kind = "indirect" if self.via_indirect else "direct"
+        return (f"{self.location}: {self.caller} may call blocking function "
+                f"{self.callee} with interrupts disabled ({kind} path: {chain})")
+
+
+@dataclass
+class AtomicCallSite:
+    """A call made while interrupts are disabled."""
+
+    caller: str
+    callee: str
+    location: SourceLocation
+    indirect: bool
+    conditional_blocks: bool = False   # a blocking_if_wait callee passed GFP_WAIT
+
+
+@dataclass
+class BlockStopResult:
+    """Everything the BlockStop analysis produced."""
+
+    graph: CallGraph
+    blocking: BlockingInfo
+    violations: list[Violation] = field(default_factory=list)
+    atomic_call_sites: list[AtomicCallSite] = field(default_factory=list)
+    irq_handlers: set[str] = field(default_factory=set)
+    asm_functions: set[str] = field(default_factory=set)
+    precision: Precision = Precision.TYPE_BASED
+    runtime_checks: RuntimeCheckSet = field(default_factory=RuntimeCheckSet)
+
+    @property
+    def reported(self) -> list[Violation]:
+        return [v for v in self.violations if not v.silenced_by_check]
+
+    @property
+    def silenced(self) -> list[Violation]:
+        return [v for v in self.violations if v.silenced_by_check]
+
+
+class BlockStopChecker:
+    """Run the whole BlockStop pipeline over a program."""
+
+    def __init__(self, program: Program,
+                 precision: Precision = Precision.TYPE_BASED,
+                 runtime_checks: RuntimeCheckSet | None = None) -> None:
+        self.program = program
+        self.precision = precision
+        self.runtime_checks = runtime_checks or RuntimeCheckSet()
+
+    def run(self) -> BlockStopResult:
+        graph, indirect_calls = build_direct_callgraph(self.program)
+        pointsto = FunctionPointerAnalysis(self.program, self.precision)
+        pointsto.collect()
+        pointsto.resolve(graph, indirect_calls)
+
+        blocking = collect_seeds(self.program)
+        propagate_blocking(self.program, graph, blocking)
+        propagate_over_graph(graph, blocking)
+
+        result = BlockStopResult(graph=graph, blocking=blocking,
+                                 precision=self.precision,
+                                 runtime_checks=self.runtime_checks)
+        result.irq_handlers = self._find_irq_handlers(pointsto)
+        self._scan_atomic_regions(result, blocking)
+        self._check_violations(result)
+        return result
+
+    # -- interrupt handlers -----------------------------------------------------
+
+    def _find_irq_handlers(self, pointsto: FunctionPointerAnalysis) -> set[str]:
+        handlers: set[str] = set()
+        for unit in self.program.units:
+            for decl in unit.decls:
+                if not isinstance(decl, ast.FuncDef):
+                    continue
+                for node in walk(decl.body):
+                    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
+                            and node.func.name in IRQ_HANDLER_REGISTRATION):
+                        for arg in node.args:
+                            name = _function_name_of(arg, self.program)
+                            if name is not None:
+                                handlers.add(name)
+        return handlers
+
+    # -- atomic-region scan -------------------------------------------------------
+
+    def _scan_atomic_regions(self, result: BlockStopResult,
+                             blocking: BlockingInfo) -> None:
+        for name, func in self.program.functions.items():
+            if _contains_asm(func):
+                result.asm_functions.add(name)
+            starts_atomic = name in result.irq_handlers
+            self._scan_function(result, name, func, starts_atomic, blocking)
+
+    def _scan_function(self, result: BlockStopResult, name: str,
+                       func: ast.FuncDef, starts_atomic: bool,
+                       blocking: BlockingInfo) -> None:
+        """Track the interrupt flag through the statement sequence.
+
+        The scan is a simple syntactic abstraction: a counter of nested
+        disables, updated in statement order, with branches explored with the
+        state they inherit.  This is how the per-function summaries feed the
+        interprocedural step (callees of an atomic call site inherit atomic
+        context through the call graph).
+        """
+        state = {"depth": 1 if starts_atomic else 0}
+
+        def visit_stmt(stmt: ast.Stmt) -> None:
+            for node in _statement_expressions(stmt):
+                self._scan_expr(result, name, node, state, blocking)
+            for child in _child_statements(stmt):
+                visit_stmt(child)
+
+        visit_stmt(func.body)
+
+    def _scan_expr(self, result: BlockStopResult, caller: str,
+                   expr: ast.Expr, state: dict, blocking: BlockingInfo) -> None:
+        for node in walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if isinstance(target, ast.Ident):
+                callee = target.name
+                if callee in IRQ_DISABLE_CALLS:
+                    state["depth"] += 1
+                    continue
+                if callee in IRQ_ENABLE_CALLS:
+                    state["depth"] = max(0, state["depth"] - 1)
+                    continue
+                if state["depth"] > 0:
+                    conditional = (callee in blocking.conditional_seeds
+                                   and call_site_may_block(self.program, blocking, node))
+                    result.atomic_call_sites.append(AtomicCallSite(
+                        caller=caller, callee=callee,
+                        location=node.location, indirect=False,
+                        conditional_blocks=conditional))
+            else:
+                if state["depth"] > 0:
+                    # Indirect call in atomic context: all resolved callees
+                    # from this caller are candidates.
+                    result.atomic_call_sites.append(AtomicCallSite(
+                        caller=caller, callee="<indirect>",
+                        location=node.location, indirect=True))
+
+    # -- violation detection --------------------------------------------------------
+
+    def _check_violations(self, result: BlockStopResult) -> None:
+        blocking = result.blocking
+        graph = result.graph
+        blocking_set = set(blocking.may_block)
+        for site in result.atomic_call_sites:
+            callees: list[tuple[str, bool]] = []
+            if site.indirect:
+                resolved = [s.callee for s in graph.call_sites
+                            if s.caller == site.caller and s.indirect]
+                callees = [(callee, True) for callee in sorted(set(resolved))]
+            else:
+                callees = [(site.callee, False)]
+            for callee, indirect in callees:
+                if callee in blocking.conditional_seeds and not site.indirect:
+                    # Allocator-style callee: blocking only when this call
+                    # site can pass GFP_WAIT.
+                    if not site.conditional_blocks:
+                        continue
+                elif callee not in blocking_set:
+                    continue
+                else:
+                    reachable_blockers = (graph.reachable_from([callee])
+                                          & (set(blocking.seeds)
+                                             | set(blocking.conditional_seeds)))
+                    if not reachable_blockers and callee not in blocking.seeds:
+                        continue
+                path = graph.shortest_path(callee, blocking.seeds | {callee})
+                silenced = callee in self.runtime_checks
+                result.violations.append(Violation(
+                    caller=site.caller, callee=callee, location=site.location,
+                    path=[site.caller, *path] if path else [site.caller, callee],
+                    via_indirect=indirect, silenced_by_check=silenced))
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _function_name_of(expr: ast.Expr, program: Program) -> str | None:
+    if isinstance(expr, ast.Ident) and expr.name in program.functions:
+        return expr.name
+    if isinstance(expr, ast.Unary) and expr.op == "&":
+        return _function_name_of(expr.operand, program)
+    if isinstance(expr, ast.Cast):
+        return _function_name_of(expr.operand, program)
+    return None
+
+
+def _contains_asm(func: ast.FuncDef) -> bool:
+    return any(isinstance(node, ast.Asm) for node in walk(func.body))
+
+
+def _statement_expressions(stmt: ast.Stmt) -> list[ast.Expr]:
+    """The expressions evaluated directly by ``stmt`` (not via sub-statements)."""
+    exprs: list[ast.Expr] = []
+    if isinstance(stmt, ast.ExprStmt):
+        exprs.append(stmt.expr)
+    elif isinstance(stmt, ast.DeclStmt) and stmt.decl.init is not None:
+        exprs.extend(_initializer_expressions(stmt.decl.init))
+    elif isinstance(stmt, (ast.If, ast.While, ast.DoWhile, ast.Switch)):
+        exprs.append(stmt.cond)
+    elif isinstance(stmt, ast.For):
+        if isinstance(stmt.init, ast.Expr):
+            exprs.append(stmt.init)
+        elif isinstance(stmt.init, ast.Declaration) and stmt.init.init is not None:
+            exprs.extend(_initializer_expressions(stmt.init.init))
+        if stmt.cond is not None:
+            exprs.append(stmt.cond)
+        if stmt.step is not None:
+            exprs.append(stmt.step)
+    elif isinstance(stmt, ast.Return) and stmt.value is not None:
+        exprs.append(stmt.value)
+    return exprs
+
+
+def _initializer_expressions(init: ast.Initializer) -> list[ast.Expr]:
+    if init.is_list:
+        collected: list[ast.Expr] = []
+        for element in init.elements or []:
+            collected.extend(_initializer_expressions(element))
+        return collected
+    return [init.expr] if init.expr is not None else []
+
+
+def _child_statements(stmt: ast.Stmt) -> list[ast.Stmt]:
+    if isinstance(stmt, ast.Block):
+        return list(stmt.stmts)
+    if isinstance(stmt, ast.If):
+        children = [stmt.then]
+        if stmt.otherwise is not None:
+            children.append(stmt.otherwise)
+        return children
+    if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        return [stmt.body]
+    if isinstance(stmt, ast.Switch):
+        collected: list[ast.Stmt] = []
+        for case in stmt.cases:
+            collected.extend(case.stmts)
+        return collected
+    if isinstance(stmt, ast.Label) and stmt.stmt is not None:
+        return [stmt.stmt]
+    return []
+
+
+def run_blockstop(program: Program,
+                  precision: Precision = Precision.TYPE_BASED,
+                  runtime_checks: RuntimeCheckSet | None = None) -> BlockStopResult:
+    """Convenience entry point: run the full BlockStop analysis."""
+    return BlockStopChecker(program, precision, runtime_checks).run()

@@ -1,0 +1,96 @@
+"""CCount conversion and run-time reports (the §2.2 numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.program import Program
+from .delayed_free import count_delayed_scopes, count_pointer_nullouts, count_rtti_sites
+from .instrument import CCountInstrumentationResult
+from .runtime import CCountRuntime, CCountStats
+
+
+@dataclass
+class CCountConversionReport:
+    """Static census of the CCount conversion of a program."""
+
+    types_described: int = 0
+    rtti_sites: int = 0
+    bulk_calls_converted: int = 0
+    delayed_scopes: int = 0
+    pointer_nullouts: int = 0
+    pointer_writes_instrumented: int = 0
+    pointer_writes_skipped_local: int = 0
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("type layouts described", str(self.types_described)),
+            ("explicit RTTI sites", str(self.rtti_sites)),
+            ("memset/memcpy made type-aware", str(self.bulk_calls_converted)),
+            ("delayed free scopes", str(self.delayed_scopes)),
+            ("pointers nulled around frees", str(self.pointer_nullouts)),
+            ("pointer writes instrumented", str(self.pointer_writes_instrumented)),
+            ("local pointer writes skipped", str(self.pointer_writes_skipped_local)),
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(f"{key:>32}: {value}" for key, value in self.rows())
+
+
+@dataclass
+class CCountRunReport:
+    """Dynamic results of running a workload under the CCount runtime."""
+
+    stats: CCountStats
+    workload: str = ""
+
+    @property
+    def total_frees(self) -> int:
+        return self.stats.total_frees
+
+    @property
+    def good_frees(self) -> int:
+        return self.stats.good_frees
+
+    @property
+    def bad_frees(self) -> int:
+        return self.stats.bad_free_count
+
+    @property
+    def good_fraction(self) -> float:
+        return self.stats.good_fraction
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("workload", self.workload or "(unnamed)"),
+            ("frees checked", str(self.total_frees)),
+            ("good frees", str(self.good_frees)),
+            ("bad frees", str(self.bad_frees)),
+            ("good fraction", f"{self.good_fraction:.2%}"),
+            ("rc increments", str(self.stats.rc_increments)),
+            ("rc decrements", str(self.stats.rc_decrements)),
+            ("delayed scopes entered", str(self.stats.delayed_scopes)),
+            ("frees deferred by scopes", str(self.stats.delayed_frees)),
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(f"{key:>32}: {value}" for key, value in self.rows())
+
+
+def build_conversion_report(program: Program,
+                            instrumentation: CCountInstrumentationResult) -> CCountConversionReport:
+    """Compute the static CCount conversion census for ``program``."""
+    return CCountConversionReport(
+        types_described=instrumentation.typeinfo.described_types(),
+        rtti_sites=count_rtti_sites(program),
+        bulk_calls_converted=instrumentation.bulk_calls_converted,
+        delayed_scopes=count_delayed_scopes(program),
+        pointer_nullouts=count_pointer_nullouts(program),
+        pointer_writes_instrumented=instrumentation.pointer_writes_instrumented,
+        pointer_writes_skipped_local=instrumentation.pointer_writes_skipped_local,
+    )
+
+
+def build_run_report(runtime: CCountRuntime, workload: str = "") -> CCountRunReport:
+    """Wrap a runtime's statistics into a report."""
+    return CCountRunReport(stats=runtime.stats, workload=workload)

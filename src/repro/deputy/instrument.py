@@ -1,0 +1,434 @@
+"""The Deputy instrumenter: a source-to-source rewriting pass.
+
+For every obligation the static checker could not discharge, the instrumenter
+splices a call to one of the ``__deputy_check_*`` runtime builtins into the
+expression tree, using the C comma operator so that the check runs immediately
+before the access it protects:
+
+    ``buf[i]``            becomes  ``(__deputy_check_index(i, n), buf[i])``
+    ``p->refcnt = 1;``    becomes  ``(__deputy_check_ptr(p, 32), p->refcnt = 1);``
+
+Because the inserted checks are ordinary calls, the instrumented program is
+still a plain MiniC program: it can be pretty-printed, re-parsed and executed
+by the unmodified abstract machine, which is exactly how a C-to-C compiler
+like the real Deputy slots into the kernel build.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..machine.interpreter import ctype_size
+from ..machine.program import Program, link_units
+from ..minic import ast_nodes as ast
+from ..minic.ctypes import CFunc, CPointer, CStruct
+from .checker import (
+    Decision,
+    DeputyOptions,
+    FunctionCheckResult,
+    Obligation,
+    ObligationKind,
+    ObligationStatus,
+    decide_call_contracts,
+    decide_cast,
+    decide_deref,
+    decide_index,
+    decide_union_access,
+)
+from .optimizer import CheckCache, writes_memory, written_names
+from .typesystem import DeputyError, TypeEnv
+
+
+@dataclass
+class InstrumentationResult:
+    """The outcome of instrumenting a whole program."""
+
+    program: Program
+    results: dict[str, FunctionCheckResult] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[DeputyError]:
+        collected: list[DeputyError] = []
+        for result in self.results.values():
+            collected.extend(result.errors)
+        return collected
+
+    def total(self, status: ObligationStatus) -> int:
+        return sum(r.count(status) for r in self.results.values())
+
+    @property
+    def checks_inserted(self) -> int:
+        return self.total(ObligationStatus.RUNTIME)
+
+    @property
+    def checks_static(self) -> int:
+        return self.total(ObligationStatus.STATIC)
+
+    @property
+    def checks_elided(self) -> int:
+        return self.total(ObligationStatus.ELIDED)
+
+
+class DeputyInstrumenter:
+    """Instrument every function of a program with Deputy run-time checks."""
+
+    def __init__(self, program: Program, options: DeputyOptions | None = None) -> None:
+        self.program = program
+        self.options = options or DeputyOptions()
+        self.results: dict[str, FunctionCheckResult] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, rewrite: bool = True) -> InstrumentationResult:
+        """Analyse (and, if ``rewrite``, transform) every function in place."""
+        for unit in self.program.units:
+            for decl in unit.decls:
+                if isinstance(decl, ast.FuncDef):
+                    self._do_function(decl, rewrite)
+        return InstrumentationResult(program=self.program, results=self.results)
+
+    # -- per function ---------------------------------------------------------
+
+    def _do_function(self, func: ast.FuncDef, rewrite: bool) -> None:
+        result = FunctionCheckResult(function=func.name)
+        self.results[func.name] = result
+        if _function_is_trusted(func):
+            result.trusted = True
+            return
+        env = TypeEnv(self.program, func)
+        worker = _FunctionInstrumenter(env, self.options, result, rewrite)
+        new_body = worker.stmt(func.body, CheckCache(enabled=self.options.optimize))
+        if rewrite and isinstance(new_body, ast.Block):
+            func.body = new_body
+
+
+def _function_is_trusted(func: ast.FuncDef) -> bool:
+    from ..annotations.attrs import AnnotationKind
+    return func.annotations.has(AnnotationKind.TRUSTED)
+
+
+def _has_side_effects(check: ast.Expr) -> bool:
+    """Whether a check call's arguments contain side-effecting expressions.
+
+    Calls to other Deputy checks are pure and idempotent, so only ordinary
+    calls, assignments and increments count.
+    """
+    from ..minic.visitor import walk
+    if not isinstance(check, ast.Call):
+        return False
+    for arg in check.args:
+        for node in walk(arg):
+            if isinstance(node, ast.Call):
+                name = node.func.name if isinstance(node.func, ast.Ident) else ""
+                if not name.startswith("__deputy_check"):
+                    return True
+            elif isinstance(node, (ast.Assign, ast.Postfix)):
+                return True
+            elif isinstance(node, ast.Unary) and node.op in ("++", "--"):
+                return True
+    return False
+
+
+class _FunctionInstrumenter:
+    """Walks one function body, deciding and splicing checks."""
+
+    def __init__(self, env: TypeEnv, options: DeputyOptions,
+                 result: FunctionCheckResult, rewrite: bool) -> None:
+        self.env = env
+        self.options = options
+        self.result = result
+        self.rewrite = rewrite
+        self.in_trusted_block = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _record(self, decision: Decision, loc, cache: CheckCache) -> ast.Expr | None:
+        """Record the obligation; return the check expression to splice (if any)."""
+        status = decision.status
+        check = decision.check
+        if self.in_trusted_block:
+            status = ObligationStatus.TRUSTED
+            check = None
+        elif (status is ObligationStatus.RUNTIME and check is not None
+              and decision.kind is not ObligationKind.CAST
+              and _has_side_effects(check)):
+            # The check would duplicate a side-effecting operand (a call or an
+            # increment); rather than evaluate it twice, trust the access and
+            # flag it for review -- the same escape hatch the paper gives
+            # programmers for code the tool cannot handle.
+            status = ObligationStatus.TRUSTED
+            check = None
+            decision = Decision(status, decision.kind, None,
+                                "operand has side effects; check not duplicable")
+        elif status is ObligationStatus.RUNTIME and check is not None:
+            if cache.is_redundant(check):
+                status = ObligationStatus.ELIDED
+                check = None
+            else:
+                cache.remember(check)
+        if status is ObligationStatus.ERROR:
+            self.result.errors.append(DeputyError(
+                message=decision.detail or "operation cannot be checked",
+                location=loc, function=self.result.function))
+        self.result.obligations.append(Obligation(
+            kind=decision.kind, status=status, location=loc,
+            function=self.result.function, detail=decision.detail,
+            check=check))
+        if not self.rewrite:
+            return None
+        return check
+
+    def _wrap(self, checks: list[ast.Expr], expr: ast.Expr) -> ast.Expr:
+        if not checks:
+            return expr
+        return ast.Comma(exprs=[*checks, expr], location=expr.location)
+
+    # -- statements --------------------------------------------------------------
+
+    def stmt(self, stmt: ast.Stmt, cache: CheckCache) -> ast.Stmt:
+        if isinstance(stmt, ast.Block):
+            if stmt.trusted:
+                self.in_trusted_block += 1
+                # Still walk it so obligations are counted as trusted.
+                for index, inner in enumerate(stmt.stmts):
+                    stmt.stmts[index] = self.stmt(inner, CheckCache(enabled=False))
+                self.in_trusted_block -= 1
+                return stmt
+            for index, inner in enumerate(stmt.stmts):
+                stmt.stmts[index] = self.stmt(inner, cache)
+            return stmt
+        if isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self.expr(stmt.expr, cache)
+            self._after_effects(stmt.expr, cache)
+            return stmt
+        if isinstance(stmt, ast.DeclStmt):
+            init = stmt.decl.init
+            if init is not None:
+                self._instrument_initializer(init, cache)
+            cache.invalidate_name(stmt.decl.name)
+            return stmt
+        if isinstance(stmt, ast.If):
+            stmt.cond = self.expr(stmt.cond, cache)
+            self._after_effects(stmt.cond, cache)
+            then_cache = cache.fork()
+            else_cache = cache.fork()
+            stmt.then = self.stmt(stmt.then, then_cache)
+            if stmt.otherwise is not None:
+                stmt.otherwise = self.stmt(stmt.otherwise, else_cache)
+            cache.invalidate_all()
+            return stmt
+        if isinstance(stmt, ast.While):
+            cache.invalidate_all()
+            body_cache = CheckCache(enabled=self.options.optimize)
+            stmt.cond = self.expr(stmt.cond, body_cache)
+            stmt.body = self.stmt(stmt.body, body_cache)
+            return stmt
+        if isinstance(stmt, ast.DoWhile):
+            cache.invalidate_all()
+            body_cache = CheckCache(enabled=self.options.optimize)
+            stmt.body = self.stmt(stmt.body, body_cache)
+            stmt.cond = self.expr(stmt.cond, body_cache)
+            return stmt
+        if isinstance(stmt, ast.For):
+            if isinstance(stmt.init, ast.Expr):
+                stmt.init = self.expr(stmt.init, cache)
+            elif isinstance(stmt.init, ast.Declaration) and stmt.init.init is not None:
+                self._instrument_initializer(stmt.init.init, cache)
+            cache.invalidate_all()
+            body_cache = CheckCache(enabled=self.options.optimize)
+            if stmt.cond is not None:
+                stmt.cond = self.expr(stmt.cond, body_cache)
+            stmt.body = self.stmt(stmt.body, body_cache)
+            if stmt.step is not None:
+                stmt.step = self.expr(stmt.step, body_cache)
+            return stmt
+        if isinstance(stmt, ast.Switch):
+            stmt.cond = self.expr(stmt.cond, cache)
+            for case in stmt.cases:
+                case_cache = cache.fork()
+                for index, inner in enumerate(case.stmts):
+                    case.stmts[index] = self.stmt(inner, case_cache)
+            cache.invalidate_all()
+            return stmt
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                stmt.value = self.expr(stmt.value, cache)
+            return stmt
+        if isinstance(stmt, ast.Label):
+            cache.invalidate_all()
+            if stmt.stmt is not None:
+                stmt.stmt = self.stmt(stmt.stmt, cache)
+            return stmt
+        # Break, Continue, Goto, Empty, Asm need no instrumentation.
+        return stmt
+
+    def _instrument_initializer(self, init: ast.Initializer, cache: CheckCache) -> None:
+        if init.is_list:
+            for element in init.elements or []:
+                self._instrument_initializer(element, cache)
+        elif init.expr is not None:
+            init.expr = self.expr(init.expr, cache)
+
+    def _after_effects(self, expr: ast.Expr, cache: CheckCache) -> None:
+        """Invalidate cached checks according to the side effects of ``expr``."""
+        for name in written_names(expr):
+            cache.invalidate_name(name)
+        if writes_memory(expr):
+            cache.invalidate_memory()
+
+    # -- expressions (rvalue position) -------------------------------------------
+
+    def expr(self, expr: ast.Expr, cache: CheckCache) -> ast.Expr:
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            operand = self.expr(expr.operand, cache)
+            expr.operand = operand
+            decision = decide_deref(self.env, operand,
+                                    self.env.type_of(expr), self.options,
+                                    expr.location)
+            check = self._record(decision, expr.location, cache)
+            return self._wrap([check] if check else [], expr)
+        if isinstance(expr, ast.Unary) and expr.op in ("&", "++", "--"):
+            new_target, checks = self.lvalue(expr.operand, cache)
+            expr.operand = new_target
+            return self._wrap(checks, expr)
+        if isinstance(expr, ast.Unary):
+            expr.operand = self.expr(expr.operand, cache)
+            return expr
+        if isinstance(expr, ast.Postfix):
+            new_target, checks = self.lvalue(expr.operand, cache)
+            expr.operand = new_target
+            return self._wrap(checks, expr)
+        if isinstance(expr, ast.Index):
+            expr.base = self.expr(expr.base, cache)
+            expr.index = self.expr(expr.index, cache)
+            decision = decide_index(self.env, expr.base, expr.index,
+                                    self.options, expr.location)
+            check = self._record(decision, expr.location, cache)
+            return self._wrap([check] if check else [], expr)
+        if isinstance(expr, ast.Member):
+            return self._member(expr, cache, as_lvalue=False)[0]
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr, cache)
+        if isinstance(expr, ast.Binary):
+            expr.left = self.expr(expr.left, cache)
+            expr.right = self.expr(expr.right, cache)
+            return expr
+        if isinstance(expr, ast.Conditional):
+            expr.cond = self.expr(expr.cond, cache)
+            then_cache = cache.fork()
+            else_cache = cache.fork()
+            expr.then = self.expr(expr.then, then_cache)
+            expr.otherwise = self.expr(expr.otherwise, else_cache)
+            return expr
+        if isinstance(expr, ast.Call):
+            return self._call(expr, cache)
+        if isinstance(expr, ast.Cast):
+            expr.operand = self.expr(expr.operand, cache)
+            decision = decide_cast(self.env, expr, self.options)
+            check = self._record(decision, expr.location, cache)
+            if check is not None and isinstance(check, ast.Call):
+                # Cast checks are pass-through: the runtime builtin returns its
+                # first argument, so the (possibly side-effecting) operand is
+                # evaluated exactly once:  (T *)__deputy_check_cast(e, size).
+                check.args[0] = expr.operand
+                expr.operand = check
+            return expr
+        if isinstance(expr, ast.Comma):
+            expr.exprs = [self.expr(item, cache) for item in expr.exprs]
+            return expr
+        # Literals, identifiers, sizeof: nothing to do.
+        return expr
+
+    def _member(self, expr: ast.Member, cache: CheckCache,
+                as_lvalue: bool) -> tuple[ast.Expr, list[ast.Expr]]:
+        checks: list[ast.Expr] = []
+        if expr.arrow:
+            expr.base = self.expr(expr.base, cache)
+            struct_type = self.env.type_of(expr.base).strip()
+            target = struct_type.target if isinstance(struct_type, CPointer) else struct_type
+            decision = decide_deref(self.env, expr.base, target, self.options,
+                                    expr.location)
+            check = self._record(decision, expr.location, cache)
+            if check is not None:
+                checks.append(check)
+        else:
+            if as_lvalue:
+                new_base, base_checks = self.lvalue(expr.base, cache)
+                expr.base = new_base
+                checks.extend(base_checks)
+            else:
+                expr.base = self.expr(expr.base, cache)
+        union_decision = decide_union_access(self.env, expr, self.options)
+        if union_decision is not None:
+            check = self._record(union_decision, expr.location, cache)
+            if check is not None:
+                checks.append(check)
+        if as_lvalue:
+            return expr, checks
+        return self._wrap(checks, expr), []
+
+    def _assign(self, expr: ast.Assign, cache: CheckCache) -> ast.Expr:
+        new_target, target_checks = self.lvalue(expr.target, cache)
+        expr.target = new_target
+        expr.value = self.expr(expr.value, cache)
+        self._after_effects(expr, cache)
+        return self._wrap(target_checks, expr)
+
+    def _call(self, expr: ast.Call, cache: CheckCache) -> ast.Expr:
+        if not isinstance(expr.func, ast.Ident):
+            expr.func = self.expr(expr.func, cache)
+        expr.args = [self.expr(arg, cache) for arg in expr.args]
+        checks: list[ast.Expr] = []
+        for decision in decide_call_contracts(self.env, expr, self.options):
+            check = self._record(decision, expr.location, cache)
+            if check is not None:
+                checks.append(check)
+        cache.invalidate_memory()
+        return self._wrap(checks, expr)
+
+    # -- lvalue position ------------------------------------------------------------
+
+    def lvalue(self, expr: ast.Expr, cache: CheckCache) -> tuple[ast.Expr, list[ast.Expr]]:
+        """Instrument an lvalue; returns (expression, hoisted checks)."""
+        if isinstance(expr, ast.Ident):
+            return expr, []
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            expr.operand = self.expr(expr.operand, cache)
+            decision = decide_deref(self.env, expr.operand,
+                                    self.env.type_of(expr), self.options,
+                                    expr.location)
+            check = self._record(decision, expr.location, cache)
+            return expr, [check] if check else []
+        if isinstance(expr, ast.Index):
+            expr.base = self.expr(expr.base, cache)
+            expr.index = self.expr(expr.index, cache)
+            decision = decide_index(self.env, expr.base, expr.index,
+                                    self.options, expr.location)
+            check = self._record(decision, expr.location, cache)
+            return expr, [check] if check else []
+        if isinstance(expr, ast.Member):
+            return self._member(expr, cache, as_lvalue=True)
+        if isinstance(expr, ast.Cast):
+            inner, checks = self.lvalue(expr.operand, cache)
+            expr.operand = inner
+            return expr, checks
+        # Not a recognised lvalue shape; instrument as an rvalue.
+        return self.expr(expr, cache), []
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+def instrument_program(program: Program,
+                       options: DeputyOptions | None = None) -> InstrumentationResult:
+    """Instrument ``program`` in place and return the result summary."""
+    return DeputyInstrumenter(program, options).run(rewrite=True)
+
+
+def instrument_copy(program: Program,
+                    options: DeputyOptions | None = None) -> InstrumentationResult:
+    """Instrument a deep copy of ``program``, leaving the original untouched."""
+    clone = copy.deepcopy(program)
+    return DeputyInstrumenter(clone, options).run(rewrite=True)

@@ -1,0 +1,102 @@
+"""Redundant run-time check elimination.
+
+Deputy inserts a run-time check wherever it cannot prove an access safe, but
+straight-line code frequently checks the same pointer expression repeatedly
+(``p->next`` three statements in a row).  The optimizer tracks which checks
+have already been emitted in the current straight-line region and drops exact
+duplicates, provided nothing that could invalidate them (a write to one of the
+mentioned variables, or an arbitrary function call) has happened in between.
+
+This is deliberately conservative — dropping a check is only sound when the
+checked expression provably still has the checked property — and it is the
+knob behind the A1 ablation benchmark (Table 1 with the optimizer disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..minic import ast_nodes as ast
+from ..minic.pretty import render_expression
+from ..minic.visitor import walk
+
+
+@dataclass
+class CheckCache:
+    """Tracks run-time checks already emitted in the current region."""
+
+    enabled: bool = True
+    _seen: dict[str, set[str]] = field(default_factory=dict)
+
+    def key_of(self, check: ast.Expr) -> str:
+        return render_expression(check)
+
+    def is_redundant(self, check: ast.Expr) -> bool:
+        """Whether an identical check has already been emitted."""
+        if not self.enabled:
+            return False
+        return self.key_of(check) in self._seen
+
+    def remember(self, check: ast.Expr) -> None:
+        if not self.enabled:
+            return
+        names = {node.name for node in walk(check) if isinstance(node, ast.Ident)}
+        self._seen[self.key_of(check)] = names
+
+    def invalidate_name(self, name: str) -> None:
+        """A variable was written: drop every cached check that mentions it."""
+        if not self.enabled or not self._seen:
+            return
+        stale = [key for key, names in self._seen.items() if name in names]
+        for key in stale:
+            del self._seen[key]
+
+    def invalidate_memory(self) -> None:
+        """A store through a pointer or an unknown call happened.
+
+        Any check whose validity depends on the heap (pointer validity,
+        nullterm scans) could be invalidated; we conservatively drop all
+        cached checks that mention memory at all, which for our check
+        vocabulary means dropping everything except pure index comparisons.
+        """
+        if not self.enabled or not self._seen:
+            return
+        stale = [key for key in self._seen
+                 if not key.startswith("__deputy_check_index")]
+        for key in stale:
+            del self._seen[key]
+
+    def invalidate_all(self) -> None:
+        self._seen.clear()
+
+    def fork(self) -> "CheckCache":
+        """A copy for a branch arm (checks proven before the branch survive)."""
+        clone = CheckCache(enabled=self.enabled)
+        clone._seen = {k: set(v) for k, v in self._seen.items()}
+        return clone
+
+
+def written_names(expr: ast.Expr) -> list[str]:
+    """Names of variables directly written by ``expr`` (for invalidation)."""
+    names: list[str] = []
+    for node in walk(expr):
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Ident):
+            names.append(node.target.name)
+        elif isinstance(node, (ast.Postfix, ast.Unary)) and getattr(node, "op", "") in ("++", "--"):
+            operand = node.operand
+            if isinstance(operand, ast.Ident):
+                names.append(operand.name)
+    return names
+
+
+def writes_memory(expr: ast.Expr) -> bool:
+    """Whether ``expr`` may store through a pointer or call a function."""
+    for node in walk(expr):
+        if isinstance(node, ast.Call):
+            return True
+        if isinstance(node, ast.Assign) and not isinstance(node.target, ast.Ident):
+            return True
+        if isinstance(node, (ast.Postfix, ast.Unary)) and getattr(node, "op", "") in ("++", "--"):
+            if not isinstance(node.operand, ast.Ident):
+                return True
+    return False

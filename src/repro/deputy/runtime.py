@@ -1,0 +1,147 @@
+"""The Deputy run-time check library.
+
+These builtins implement the checks the instrumenter splices into the
+program.  They are registered on an :class:`~repro.machine.interpreter.Interpreter`
+by :func:`install`, charge cycles from the Deputy entries of the cost model,
+and raise :class:`~repro.machine.errors.CheckFailure` (tool ``"deputy"``) when
+a check fails — which is the moment Deputy turns a would-be memory-safety bug
+into a controlled failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.errors import CheckFailure
+from ..machine.interpreter import Interpreter
+from ..machine.values import TypedValue, VOID_VALUE, int_value
+
+
+@dataclass
+class DeputyRuntimeStats:
+    """Counters kept by the runtime while the instrumented kernel runs."""
+
+    checks_executed: int = 0
+    failures: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, kind: str) -> None:
+        self.checks_executed += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+def install(interp: Interpreter) -> DeputyRuntimeStats:
+    """Register the ``__deputy_check_*`` builtins on ``interp``."""
+    stats = DeputyRuntimeStats()
+
+    def fail(message: str, loc) -> None:
+        stats.failures += 1
+        raise CheckFailure(message, tool="deputy", location=loc)
+
+    def check_ptr(interp: Interpreter, args: list[TypedValue], loc) -> TypedValue:
+        stats.bump("ptr")
+        interp.counter.charge("deputy_nonnull")
+        interp.counter.charge("deputy_bounds")
+        addr = args[0].as_int()
+        size = args[1].as_int() if len(args) > 1 else 1
+        if addr == 0:
+            fail("null pointer dereference", loc)
+        if not interp.memory.is_valid(addr, max(size, 1)):
+            fail(f"pointer 0x{addr:x} does not refer to {size} valid bytes", loc)
+        return VOID_VALUE
+
+    def check_nonnull(interp: Interpreter, args: list[TypedValue], loc) -> TypedValue:
+        stats.bump("nonnull")
+        interp.counter.charge("deputy_nonnull")
+        if args[0].as_int() == 0:
+            fail("null pointer where nonnull was required", loc)
+        return VOID_VALUE
+
+    def check_index(interp: Interpreter, args: list[TypedValue], loc) -> TypedValue:
+        stats.bump("index")
+        interp.counter.charge("deputy_bounds")
+        index = args[0].as_int()
+        count = args[1].as_int()
+        if index < 0 or index >= count:
+            fail(f"index {index} out of bounds for count {count}", loc)
+        return VOID_VALUE
+
+    def check_count(interp: Interpreter, args: list[TypedValue], loc) -> TypedValue:
+        stats.bump("count")
+        interp.counter.charge("deputy_bounds")
+        addr = args[0].as_int()
+        count = args[1].as_int()
+        elem_size = args[2].as_int() if len(args) > 2 else 1
+        if count <= 0:
+            return VOID_VALUE
+        if addr == 0:
+            fail("null pointer passed where count(n) elements were promised", loc)
+        needed = count * max(elem_size, 1)
+        if not interp.memory.is_valid(addr, needed):
+            fail(f"pointer 0x{addr:x} does not have room for {count} elements "
+                 f"of {elem_size} bytes", loc)
+        return VOID_VALUE
+
+    def check_nt(interp: Interpreter, args: list[TypedValue], loc) -> TypedValue:
+        stats.bump("nullterm")
+        interp.counter.charge("deputy_nullterm_base")
+        addr = args[0].as_int()
+        offset = args[1].as_int() if len(args) > 1 else 0
+        if addr == 0:
+            fail("null pointer used as nullterm sequence", loc)
+        # The access must stay inside the object holding the sequence, and —
+        # when it steps past the first element — the byte *before* it must not
+        # already have been the terminator.  (Deputy's write-side checks keep
+        # the terminator intact, so this constant-time read-side check is the
+        # optimised form rather than a full O(n) rescan.)
+        if not interp.memory.is_valid(addr + offset, 1):
+            fail(f"nullterm access at offset {offset} runs off the object at "
+                 f"0x{addr:x}", loc)
+        if offset > 0:
+            interp.counter.charge("deputy_nullterm_per_char")
+            previous = interp.memory.load(addr + offset - 1, 1)
+            if previous == 0:
+                fail(f"access at offset {offset} is past the terminator of the "
+                     f"nullterm sequence at 0x{addr:x}", loc)
+        return VOID_VALUE
+
+    def check_union(interp: Interpreter, args: list[TypedValue], loc) -> TypedValue:
+        stats.bump("union")
+        interp.counter.charge("deputy_union")
+        if not args[0].value:
+            fail("tagged-union member accessed while its when() clause is false", loc)
+        return VOID_VALUE
+
+    def check_cast(interp: Interpreter, args: list[TypedValue], loc) -> TypedValue:
+        # Pass-through check: returns its first argument so the instrumenter
+        # can wrap side-effecting operands without evaluating them twice.
+        stats.bump("cast")
+        interp.counter.charge("deputy_cast")
+        addr = args[0].as_int()
+        size = args[1].as_int() if len(args) > 1 else 1
+        if addr == 0:
+            return args[0]  # casting NULL is always fine
+        if not interp.memory.is_valid(addr, max(size, 1)):
+            fail(f"cast target 0x{addr:x} is smaller than {size} bytes", loc)
+        return args[0]
+
+    interp.register_builtin("__deputy_check_ptr", check_ptr)
+    interp.register_builtin("__deputy_check_nonnull", check_nonnull)
+    interp.register_builtin("__deputy_check_index", check_index)
+    interp.register_builtin("__deputy_check_count", check_count)
+    interp.register_builtin("__deputy_check_nt", check_nt)
+    interp.register_builtin("__deputy_check_union", check_union)
+    interp.register_builtin("__deputy_check_cast", check_cast)
+    return stats
+
+
+#: Names of every Deputy runtime builtin (used by tests and the call graph).
+CHECK_BUILTINS = (
+    "__deputy_check_ptr",
+    "__deputy_check_nonnull",
+    "__deputy_check_index",
+    "__deputy_check_count",
+    "__deputy_check_nt",
+    "__deputy_check_union",
+    "__deputy_check_cast",
+)

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerate every table, figure and in-text number."""
+
+from .blockstop_eval import (
+    BlockStopEvalResult,
+    PAPER_BLOCKSTOP,
+    SEEDED_BUG_CALLERS,
+    run_blockstop_eval,
+)
+from .ccount_overhead import (
+    CCountOverheadResult,
+    OverheadRow,
+    PAPER_CCOUNT_OVERHEADS,
+    run_ccount_overheads,
+    run_locked_cost_sweep,
+)
+from .ccount_stats import CCountStatsResult, PAPER_CCOUNT_STATS, run_ccount_stats
+from .deputy_stats import DeputyStatsResult, PAPER_DEPUTY_STATS, run_deputy_stats
+from .report import FullReport, run_all
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "BlockStopEvalResult", "PAPER_BLOCKSTOP", "SEEDED_BUG_CALLERS",
+    "run_blockstop_eval",
+    "CCountOverheadResult", "OverheadRow", "PAPER_CCOUNT_OVERHEADS",
+    "run_ccount_overheads", "run_locked_cost_sweep",
+    "CCountStatsResult", "PAPER_CCOUNT_STATS", "run_ccount_stats",
+    "DeputyStatsResult", "PAPER_DEPUTY_STATS", "run_deputy_stats",
+    "FullReport", "run_all",
+    "Table1Result", "run_table1",
+]

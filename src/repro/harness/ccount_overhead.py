@@ -1,0 +1,120 @@
+"""Experiments E4/A2: CCount fork and module-loading overheads (§2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ccount import CCountConfig
+from ..kernel.boot import boot_kernel
+from ..kernel.build import BuildConfig
+from ..kernel.workloads import workload_fork, workload_module_load
+
+#: The paper's reported overheads.
+PAPER_CCOUNT_OVERHEADS = {
+    ("fork", "up"): 0.19,
+    ("fork", "smp"): 0.63,
+    ("module", "up"): 0.08,
+    ("module", "smp"): 0.12,
+}
+
+
+@dataclass
+class OverheadRow:
+    """One workload/configuration overhead measurement."""
+
+    workload: str
+    configuration: str           # "up" or "smp"
+    baseline_cycles: int
+    ccount_cycles: int
+    paper_overhead: float | None = None
+
+    @property
+    def overhead(self) -> float:
+        if self.baseline_cycles == 0:
+            return 0.0
+        return self.ccount_cycles / self.baseline_cycles - 1.0
+
+
+@dataclass
+class CCountOverheadResult:
+    """The four (workload × UP/SMP) overheads."""
+
+    rows: list[OverheadRow] = field(default_factory=list)
+
+    def row(self, workload: str, configuration: str) -> OverheadRow:
+        for row in self.rows:
+            if row.workload == workload and row.configuration == configuration:
+                return row
+        raise KeyError((workload, configuration))
+
+    def shape_holds(self) -> bool:
+        """The qualitative §2.2 claims:
+
+        * CCount costs measurably more on fork than on module loading;
+        * the SMP configuration (locked RC updates) is more expensive than
+          the uniprocessor one for both workloads;
+        * no overhead explodes past ~2x.
+        """
+        try:
+            fork_up = self.row("fork", "up").overhead
+            fork_smp = self.row("fork", "smp").overhead
+            module_up = self.row("module", "up").overhead
+            module_smp = self.row("module", "smp").overhead
+        except KeyError:
+            return False
+        ordered = fork_smp > fork_up and module_smp >= module_up
+        fork_dominates = fork_up > module_up
+        bounded = all(0.0 <= value <= 1.2 for value in
+                      (fork_up, fork_smp, module_up, module_smp))
+        return ordered and fork_dominates and bounded
+
+    def format_table(self) -> str:
+        lines = [f"{'workload':<10}{'config':<8}{'overhead':>10}{'paper':>10}"]
+        for row in self.rows:
+            paper = f"{row.paper_overhead:.0%}" if row.paper_overhead is not None else "-"
+            lines.append(f"{row.workload:<10}{row.configuration:<8}"
+                         f"{row.overhead:>10.1%}{paper:>10}")
+        return "\n".join(lines)
+
+
+def _measure(workload: str, smp: bool, ccount: bool,
+             iterations: int) -> int:
+    config = BuildConfig(ccount=ccount)
+    kernel = boot_kernel(config, smp=smp, reset_cycles_after_boot=True)
+    if workload == "fork":
+        return workload_fork(kernel, iterations).cycles
+    return workload_module_load(kernel, iterations).cycles
+
+
+def run_ccount_overheads(fork_iterations: int = 12,
+                         module_iterations: int = 8) -> CCountOverheadResult:
+    """Measure fork and module-loading overheads for UP and SMP kernels."""
+    result = CCountOverheadResult()
+    for workload, iterations in (("fork", fork_iterations),
+                                 ("module", module_iterations)):
+        for configuration, smp in (("up", False), ("smp", True)):
+            baseline = _measure(workload, smp, ccount=False, iterations=iterations)
+            ccount = _measure(workload, smp, ccount=True, iterations=iterations)
+            result.rows.append(OverheadRow(
+                workload=workload, configuration=configuration,
+                baseline_cycles=baseline, ccount_cycles=ccount,
+                paper_overhead=PAPER_CCOUNT_OVERHEADS.get((workload, configuration))))
+    return result
+
+
+def run_locked_cost_sweep(costs: tuple[int, ...] = (0, 8, 16, 22, 32),
+                          iterations: int = 10) -> list[tuple[int, float]]:
+    """Ablation A2: fork overhead as a function of the locked-operation cost."""
+    from ..machine.cycles import CostModel
+
+    sweep: list[tuple[int, float]] = []
+    for extra in costs:
+        model = CostModel(smp=True, rc_locked_extra=extra)
+        baseline_kernel = boot_kernel(BuildConfig(), cost_model=model,
+                                      reset_cycles_after_boot=True)
+        ccount_kernel = boot_kernel(BuildConfig(ccount=True), cost_model=model,
+                                    reset_cycles_after_boot=True)
+        baseline = workload_fork(baseline_kernel, iterations).cycles
+        ccount = workload_fork(ccount_kernel, iterations).cycles
+        sweep.append((extra, ccount / baseline - 1.0 if baseline else 0.0))
+    return sweep

@@ -1,0 +1,74 @@
+"""Experiment E3: CCount free verification (§2.2's in-text numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ccount import (
+    CCountConfig,
+    CCountConversionReport,
+    CCountRunReport,
+    build_conversion_report,
+    build_run_report,
+)
+from ..kernel.boot import boot_kernel
+from ..kernel.build import BuildConfig
+from ..kernel.workloads import workload_boot_to_login, workload_light_use
+
+#: The paper's reference values.
+PAPER_CCOUNT_STATS = {
+    "type_layouts": 32,
+    "rtti_sites": 27,
+    "memcpy_memset_changes": 50,
+    "null_out_fixes": 27,
+    "delayed_free_scopes": 26,
+    "boot_frees_verified": 107_000,
+    "boot_good_fraction": 1.00,
+    "light_use_good_fraction": 0.985,
+    "person_weeks": 6,
+}
+
+
+@dataclass
+class CCountStatsResult:
+    """Conversion census plus boot/light-use free verification."""
+
+    conversion: CCountConversionReport
+    boot_report: CCountRunReport
+    light_use_report: CCountRunReport
+    paper: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.paper is None:
+            self.paper = dict(PAPER_CCOUNT_STATS)
+
+    def shape_holds(self) -> bool:
+        """The §2.2 claims, scaled to the mini-kernel.
+
+        All boot-time frees verify, and light use keeps the good-free
+        fraction at or above the paper's 98.5%.
+        """
+        return (self.boot_report.total_frees > 0
+                and self.boot_report.good_fraction >= 0.99
+                and self.light_use_report.good_fraction >= 0.985)
+
+
+def run_ccount_stats(config: CCountConfig | None = None) -> CCountStatsResult:
+    """Run boot-to-login and light-use under the CCount runtime."""
+    kernel = boot_kernel(BuildConfig(ccount=True,
+                                     ccount_config=config or CCountConfig()),
+                         boot=False)
+    assert kernel.ccount is not None
+    workload_boot_to_login(kernel)
+    conversion = build_conversion_report(kernel.build.program, kernel.build.ccount_result)
+    boot_report = CCountRunReport(stats=_copy_stats(kernel.ccount.stats),
+                                  workload="boot to login prompt")
+    workload_light_use(kernel)
+    light_report = build_run_report(kernel.ccount, workload="light use (idle + scp kernel)")
+    return CCountStatsResult(conversion=conversion, boot_report=boot_report,
+                             light_use_report=light_report)
+
+
+def _copy_stats(stats):
+    from copy import deepcopy
+    return deepcopy(stats)

@@ -1,0 +1,76 @@
+"""Top-level experiment driver: run everything and render a summary.
+
+``python -m repro.harness.report`` regenerates every experiment in
+EXPERIMENTS.md and prints the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .blockstop_eval import BlockStopEvalResult, run_blockstop_eval
+from .ccount_overhead import CCountOverheadResult, run_ccount_overheads
+from .ccount_stats import CCountStatsResult, run_ccount_stats
+from .deputy_stats import DeputyStatsResult, run_deputy_stats
+from .table1 import Table1Result, run_table1
+
+
+@dataclass
+class FullReport:
+    """Results of every experiment."""
+
+    table1: Optional[Table1Result] = None
+    deputy_stats: Optional[DeputyStatsResult] = None
+    ccount_stats: Optional[CCountStatsResult] = None
+    ccount_overheads: Optional[CCountOverheadResult] = None
+    blockstop: Optional[BlockStopEvalResult] = None
+
+    def render(self) -> str:
+        sections: list[str] = []
+        if self.table1 is not None:
+            sections.append("== E1: Table 1 (hbench relative performance) ==")
+            sections.append(self.table1.format_table())
+            sections.append(f"shape holds: {self.table1.shape_holds()}")
+        if self.deputy_stats is not None:
+            sections.append("== E2/E6: Deputy conversion ==")
+            sections.append(str(self.deputy_stats.report))
+            sections.append(f"shape holds: {self.deputy_stats.shape_holds()}")
+        if self.ccount_stats is not None:
+            sections.append("== E3: CCount free verification ==")
+            sections.append(str(self.ccount_stats.conversion))
+            sections.append(str(self.ccount_stats.boot_report))
+            sections.append(str(self.ccount_stats.light_use_report))
+            sections.append(f"shape holds: {self.ccount_stats.shape_holds()}")
+        if self.ccount_overheads is not None:
+            sections.append("== E4: CCount overheads ==")
+            sections.append(self.ccount_overheads.format_table())
+            sections.append(f"shape holds: {self.ccount_overheads.shape_holds()}")
+        if self.blockstop is not None:
+            sections.append("== E5: BlockStop ==")
+            sections.append(str(self.blockstop.before))
+            sections.append(f"real bugs found: {self.blockstop.real_bugs_found}")
+            sections.append(f"run-time checks inserted: {len(self.blockstop.runtime_checks)}")
+            sections.append(f"violations after checks: {self.blockstop.after.violations_reported}")
+            sections.append(f"shape holds: {self.blockstop.shape_holds()}")
+        return "\n\n".join(sections)
+
+
+def run_all(include_table1: bool = True) -> FullReport:
+    """Run every experiment (Table 1 is the slowest; it can be skipped)."""
+    report = FullReport()
+    if include_table1:
+        report.table1 = run_table1()
+    report.deputy_stats = run_deputy_stats()
+    report.ccount_stats = run_ccount_stats()
+    report.ccount_overheads = run_ccount_overheads()
+    report.blockstop = run_blockstop_eval()
+    return report
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_all().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,51 @@
+"""Experiment E1: Table 1 — relative performance of the deputized kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deputy import DeputyOptions
+from ..hbench import PAPER_TABLE1, SuiteResult, run_suite
+from ..kernel.build import BuildConfig
+
+
+@dataclass
+class Table1Result:
+    """Measured vs. paper-reported Table 1."""
+
+    suite: SuiteResult
+    paper: dict[str, float] = field(default_factory=lambda: dict(PAPER_TABLE1))
+
+    def shape_holds(self) -> bool:
+        """The qualitative claims of Table 1, checked against our numbers.
+
+        * bandwidth tests lose little throughput (small overheads);
+        * latency tests pay more than bandwidth tests on average;
+        * no benchmark slows down by more than ~2.2x.
+        """
+        bw = [row.relative for row in self.suite.bandwidth_rows()]
+        lat = [row.relative for row in self.suite.latency_rows()]
+        if not bw or not lat:
+            return False
+        bw_ok = all(value >= 0.70 for value in bw)
+        lat_ok = all(value <= 2.2 for value in lat)
+        bw_mean_overhead = sum(1.0 / value for value in bw) / len(bw) - 1.0
+        lat_mean_overhead = sum(lat) / len(lat) - 1.0
+        return bw_ok and lat_ok and lat_mean_overhead >= bw_mean_overhead
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        return [(row.name, row.relative, self.paper.get(row.name, float("nan")))
+                for row in self.suite.rows]
+
+    def format_table(self) -> str:
+        return self.suite.format_table()
+
+
+def run_table1(optimize: bool = True, shared_kernels: bool = True) -> Table1Result:
+    """Regenerate Table 1 (optionally with the check optimizer disabled)."""
+    options = DeputyOptions(optimize=optimize)
+    suite = run_suite(
+        instrumented_config=BuildConfig(deputy=True, deputy_options=options),
+        label="deputy" if optimize else "deputy (no check optimizer)",
+        shared_kernels=shared_kernels)
+    return Table1Result(suite=suite)

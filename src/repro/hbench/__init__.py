@@ -1,0 +1,18 @@
+"""The hbench-like micro-benchmark suite."""
+
+from .runner import BenchmarkRow, SuiteResult, fresh_kernel, run_benchmark_pair, run_suite
+from .suite import (
+    Benchmark,
+    PAPER_TABLE1,
+    TABLE1_ORDER,
+    all_benchmarks,
+    benchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "BenchmarkRow", "SuiteResult", "fresh_kernel", "run_benchmark_pair",
+    "run_suite",
+    "Benchmark", "PAPER_TABLE1", "TABLE1_ORDER", "all_benchmarks",
+    "benchmark", "get_benchmark",
+]

@@ -1,0 +1,121 @@
+"""Bandwidth micro-benchmarks (the ``bw_*`` rows of Table 1)."""
+
+from __future__ import annotations
+
+from ..kernel.boot import KernelInstance
+from .suite import benchmark
+
+#: Iteration counts are small because the abstract machine is deterministic:
+#: one pass produces the same relative numbers as a thousand.
+BULK_ITERS = 6
+IO_ITERS = 8
+#: Stream chunk for pipe/TCP benchmarks (bounded by the pipe ring buffer).
+CHUNK = 1000
+#: Chunk for file-backed benchmarks (bounded by the ramfs file size).
+FILE_CHUNK = 3000
+
+
+def _open_scratch(kernel: KernelInstance, name: str) -> int:
+    addr = kernel.interp.intern_string(name)
+    kernel.call("vfs_create", addr, 1)
+    return int(kernel.call("vfs_open", addr).value)
+
+
+def _scratch_buffer(kernel: KernelInstance, size: int = 1024) -> int:
+    return kernel.interp.intern_string("#" * size)
+
+
+def _file_buffer(kernel: KernelInstance) -> int:
+    return _scratch_buffer(kernel, FILE_CHUNK + 8)
+
+
+@benchmark("bw_bzero", "bw", "zero a user buffer repeatedly")
+def bw_bzero(kernel: KernelInstance) -> int:
+    return int(kernel.call("user_bw_bzero", BULK_ITERS).value)
+
+
+@benchmark("bw_mem_cp", "bw", "copy between user buffers")
+def bw_mem_cp(kernel: KernelInstance) -> int:
+    return int(kernel.call("user_bw_mem_cp", BULK_ITERS).value)
+
+
+@benchmark("bw_mem_rd", "bw", "strided reads of a user buffer")
+def bw_mem_rd(kernel: KernelInstance) -> int:
+    return int(kernel.call("user_bw_mem_rd", BULK_ITERS).value)
+
+
+@benchmark("bw_mem_wr", "bw", "strided writes of a user buffer")
+def bw_mem_wr(kernel: KernelInstance) -> int:
+    return int(kernel.call("user_bw_mem_wr", BULK_ITERS).value)
+
+
+@benchmark("bw_file_rd", "bw", "read a cached ramfs file")
+def bw_file_rd(kernel: KernelInstance) -> int:
+    fd = _open_scratch(kernel, "bw_file_rd.dat")
+    buf = _file_buffer(kernel)
+    kernel.call("vfs_write", fd, buf, FILE_CHUNK)
+    total = 0
+    for _ in range(IO_ITERS):
+        kernel.call("vfs_seek", fd, 0)
+        total += int(kernel.call("vfs_read", fd, buf, FILE_CHUNK).value)
+    kernel.call("vfs_close", fd)
+    return total
+
+
+@benchmark("bw_mmap_rd", "bw", "read a file through a mapped region")
+def bw_mmap_rd(kernel: KernelInstance) -> int:
+    # mmap in the mini-kernel is modelled as mapping an area then faulting the
+    # file's pages in with reads through the VFS.
+    fd = _open_scratch(kernel, "bw_mmap_rd.dat")
+    buf = _file_buffer(kernel)
+    kernel.call("vfs_write", fd, buf, FILE_CHUNK)
+    total = 0
+    for index in range(IO_ITERS):
+        mm = _task_mm(kernel)
+        if mm:
+            kernel.call("mm_add_area", mm, 0x1000 * index, 0x1000 * (index + 1), 3)
+        kernel.call("vfs_seek", fd, 0)
+        total += int(kernel.call("vfs_read", fd, buf, FILE_CHUNK).value)
+    kernel.call("vfs_close", fd)
+    return total
+
+
+def _task_mm(kernel: KernelInstance) -> int:
+    task = int(kernel.call("get_current").value)
+    if task == 0:
+        return 0
+    mm = kernel.interp.memory.load(task + _mm_offset(kernel), 4)
+    if mm == 0:
+        mm = int(kernel.call("mm_alloc").value)
+        kernel.interp.memory.store(task + _mm_offset(kernel), 4, mm)
+    return mm
+
+
+def _mm_offset(kernel: KernelInstance) -> int:
+    struct = kernel.build.program.registry.struct_tag("task_struct")
+    return struct.field_named("mm").offset
+
+
+@benchmark("bw_pipe", "bw", "stream data through a pipe")
+def bw_pipe(kernel: KernelInstance) -> int:
+    pipe = int(kernel.call("pipe_create").value)
+    buf = _scratch_buffer(kernel)
+    total = 0
+    for _ in range(IO_ITERS):
+        total += int(kernel.call("pipe_write", pipe, buf, CHUNK).value)
+        total += int(kernel.call("pipe_read", pipe, buf, CHUNK).value)
+    kernel.call("pipe_destroy", pipe)
+    return total
+
+
+@benchmark("bw_tcp", "bw", "stream data over a loopback TCP connection")
+def bw_tcp(kernel: KernelInstance) -> int:
+    a = int(kernel.call("sock_create", 6).value)
+    b = int(kernel.call("sock_create", 6).value)
+    kernel.call("sock_bind", a, 4001)
+    kernel.call("sock_bind", b, 4002)
+    kernel.call("tcp_connect", a, 4002)
+    total = int(kernel.call("user_tcp_stream", a, b, CHUNK, IO_ITERS).value)
+    kernel.call("sock_close", a)
+    kernel.call("sock_close", b)
+    return total

@@ -1,0 +1,145 @@
+"""Latency micro-benchmarks (the ``lat_*`` rows of Table 1)."""
+
+from __future__ import annotations
+
+from ..kernel.boot import KernelInstance
+from .suite import benchmark
+
+ITERS = 10
+SMALL = 16
+
+
+def _scratch(kernel: KernelInstance, size: int = 64) -> int:
+    return kernel.interp.intern_string("." * size)
+
+
+@benchmark("lat_syscall", "lat", "null system call round trip")
+def lat_syscall(kernel: KernelInstance) -> int:
+    return int(kernel.call("user_lat_syscall", ITERS * 2).value)
+
+
+@benchmark("lat_proc", "lat", "process creation (fork + exit)")
+def lat_proc(kernel: KernelInstance) -> int:
+    return int(kernel.call("user_fork_exit", 3).value)
+
+
+@benchmark("lat_ctx", "lat", "context switch between two processes")
+def lat_ctx(kernel: KernelInstance) -> int:
+    kernel.call("do_fork", 0)
+    return int(kernel.call("user_context_switch", ITERS).value)
+
+
+@benchmark("lat_ctx2", "lat", "context switch with a larger working set")
+def lat_ctx2(kernel: KernelInstance) -> int:
+    for _ in range(3):
+        kernel.call("do_fork", 0)
+    mm = kernel.call("get_current").value
+    return int(kernel.call("user_context_switch", ITERS * 2).value)
+
+
+@benchmark("lat_pipe", "lat", "pipe ping-pong latency")
+def lat_pipe(kernel: KernelInstance) -> int:
+    pipe = int(kernel.call("pipe_create").value)
+    result = int(kernel.call("user_pipe_pingpong", pipe, SMALL, ITERS).value)
+    kernel.call("pipe_destroy", pipe)
+    return result
+
+
+@benchmark("lat_fs", "lat", "file create / write / delete latency")
+def lat_fs(kernel: KernelInstance) -> int:
+    buf = _scratch(kernel)
+    total = 0
+    for index in range(ITERS):
+        name = kernel.interp.intern_string(f"lat_fs_{index}")
+        kernel.call("vfs_create", name, 1)
+        fd = int(kernel.call("vfs_open", name).value)
+        if fd >= 0:
+            total += int(kernel.call("vfs_write", fd, buf, SMALL).value)
+            kernel.call("vfs_close", fd)
+    return total
+
+
+@benchmark("lat_fslayer", "lat", "VFS layer traversal (open/close only)")
+def lat_fslayer(kernel: KernelInstance) -> int:
+    name = kernel.interp.intern_string("lat_fslayer.dat")
+    kernel.call("vfs_create", name, 1)
+    total = 0
+    for _ in range(ITERS * 2):
+        fd = int(kernel.call("vfs_open", name).value)
+        if fd >= 0:
+            kernel.call("vfs_close", fd)
+            total += 1
+    return total
+
+
+@benchmark("lat_mmap", "lat", "map and unmap address-space areas")
+def lat_mmap(kernel: KernelInstance) -> int:
+    mm = int(kernel.call("mm_alloc").value)
+    for index in range(ITERS):
+        kernel.call("mm_add_area", mm, 0x10000 * index, 0x10000 * index + 0x4000, 3)
+    kernel.call("mm_release", mm)
+    return ITERS
+
+
+@benchmark("lat_sig", "lat", "signal send and delivery latency")
+def lat_sig(kernel: KernelInstance) -> int:
+    return int(kernel.call("user_signal_roundtrip", ITERS * 2).value)
+
+
+@benchmark("lat_connect", "lat", "TCP connection establishment")
+def lat_connect(kernel: KernelInstance) -> int:
+    total = 0
+    for index in range(4):
+        a = int(kernel.call("sock_create", 6).value)
+        b = int(kernel.call("sock_create", 6).value)
+        kernel.call("sock_bind", a, 5000 + index * 2)
+        kernel.call("sock_bind", b, 5001 + index * 2)
+        total += int(kernel.call("tcp_connect", a, 5001 + index * 2).value)
+        kernel.call("sock_close", a)
+        kernel.call("sock_close", b)
+    return total
+
+
+@benchmark("lat_tcp", "lat", "TCP small-message round trip")
+def lat_tcp(kernel: KernelInstance) -> int:
+    a = int(kernel.call("sock_create", 6).value)
+    b = int(kernel.call("sock_create", 6).value)
+    kernel.call("sock_bind", a, 6001)
+    kernel.call("sock_bind", b, 6002)
+    kernel.call("tcp_connect", a, 6002)
+    total = int(kernel.call("user_tcp_stream", a, b, SMALL, ITERS).value)
+    kernel.call("sock_close", a)
+    kernel.call("sock_close", b)
+    return total
+
+
+@benchmark("lat_udp", "lat", "UDP small-message round trip")
+def lat_udp(kernel: KernelInstance) -> int:
+    a = int(kernel.call("sock_create", 17).value)
+    b = int(kernel.call("sock_create", 17).value)
+    kernel.call("sock_bind", a, 7001)
+    kernel.call("sock_bind", b, 7002)
+    total = int(kernel.call("user_udp_pingpong", a, b, 7002, 7001, SMALL, ITERS).value)
+    kernel.call("sock_close", a)
+    kernel.call("sock_close", b)
+    return total
+
+
+@benchmark("lat_rpc", "lat", "RPC-style request/response over UDP plus dispatch")
+def lat_rpc(kernel: KernelInstance) -> int:
+    a = int(kernel.call("sock_create", 17).value)
+    b = int(kernel.call("sock_create", 17).value)
+    kernel.call("sock_bind", a, 8001)
+    kernel.call("sock_bind", b, 8002)
+    buf = _scratch(kernel)
+    total = 0
+    for _ in range(ITERS):
+        # request, server-side "work" (a couple of syscalls), response
+        kernel.call("udp_sendto", a, buf, SMALL, 8002)
+        kernel.call("udp_recv", b, buf, SMALL)
+        kernel.call("do_syscall", 0, 0, 0, 0)
+        kernel.call("udp_sendto", b, buf, SMALL, 8001)
+        total += int(kernel.call("udp_recv", a, buf, SMALL).value)
+    kernel.call("sock_close", a)
+    kernel.call("sock_close", b)
+    return total

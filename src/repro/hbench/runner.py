@@ -1,0 +1,121 @@
+"""Run the hbench suite against two kernel builds and compute Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deputy import DeputyOptions
+from ..kernel.boot import KernelInstance, boot_kernel
+from ..kernel.build import BuildConfig
+from .suite import Benchmark, PAPER_TABLE1, all_benchmarks
+
+
+@dataclass
+class BenchmarkRow:
+    """One row of the relative-performance table."""
+
+    name: str
+    kind: str
+    baseline_cycles: int
+    instrumented_cycles: int
+    paper_value: float | None = None
+
+    @property
+    def relative(self) -> float:
+        """Relative performance with the paper's conventions.
+
+        Bandwidth rows report relative throughput (1/overhead), latency rows
+        report relative latency (overhead), so "bigger is worse" exactly when
+        it is in Table 1.
+        """
+        if self.baseline_cycles == 0 or self.instrumented_cycles == 0:
+            return 1.0
+        overhead = self.instrumented_cycles / self.baseline_cycles
+        if self.kind == "bw":
+            return 1.0 / overhead
+        return overhead
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.baseline_cycles == 0:
+            return 0.0
+        return self.instrumented_cycles / self.baseline_cycles - 1.0
+
+
+@dataclass
+class SuiteResult:
+    """The whole table."""
+
+    label: str
+    rows: list[BenchmarkRow] = field(default_factory=list)
+
+    def row(self, name: str) -> BenchmarkRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def bandwidth_rows(self) -> list[BenchmarkRow]:
+        return [r for r in self.rows if r.kind == "bw"]
+
+    def latency_rows(self) -> list[BenchmarkRow]:
+        return [r for r in self.rows if r.kind == "lat"]
+
+    def format_table(self) -> str:
+        lines = [f"Relative performance of the {self.label} kernel",
+                 f"{'Benchmark':<14}{'Rel. Perf.':>12}{'Paper':>10}"]
+        for row in self.rows:
+            paper = f"{row.paper_value:.2f}" if row.paper_value is not None else "-"
+            lines.append(f"{row.name:<14}{row.relative:>12.2f}{paper:>10}")
+        return "\n".join(lines)
+
+
+def fresh_kernel(config: BuildConfig, max_steps: int = 80_000_000) -> KernelInstance:
+    """Boot a fresh kernel for one benchmark run."""
+    return boot_kernel(config, max_steps=max_steps, reset_cycles_after_boot=True)
+
+
+def run_benchmark_pair(bench: Benchmark, baseline_config: BuildConfig,
+                       instrumented_config: BuildConfig) -> BenchmarkRow:
+    """Measure one benchmark on freshly booted baseline/instrumented kernels."""
+    baseline_kernel = fresh_kernel(baseline_config)
+    instrumented_kernel = fresh_kernel(instrumented_config)
+    baseline = bench.measure(baseline_kernel)
+    instrumented = bench.measure(instrumented_kernel)
+    return BenchmarkRow(name=bench.name, kind=bench.kind,
+                        baseline_cycles=baseline,
+                        instrumented_cycles=instrumented,
+                        paper_value=PAPER_TABLE1.get(bench.name))
+
+
+def run_suite(instrumented_config: BuildConfig | None = None,
+              baseline_config: BuildConfig | None = None,
+              benchmarks: list[Benchmark] | None = None,
+              label: str | None = None,
+              shared_kernels: bool = True) -> SuiteResult:
+    """Run the whole suite (defaults to baseline vs. deputized kernel).
+
+    With ``shared_kernels`` (the default, and how hbench itself runs) the two
+    kernels are booted once and every benchmark runs on them in sequence;
+    otherwise each benchmark gets freshly booted kernels.
+    """
+    baseline_config = baseline_config or BuildConfig()
+    instrumented_config = instrumented_config or BuildConfig(
+        deputy=True, deputy_options=DeputyOptions())
+    result = SuiteResult(label=label or instrumented_config.label)
+    selected = benchmarks or all_benchmarks()
+    if not shared_kernels:
+        for bench in selected:
+            result.rows.append(run_benchmark_pair(bench, baseline_config,
+                                                  instrumented_config))
+        return result
+    baseline_kernel = fresh_kernel(baseline_config)
+    instrumented_kernel = fresh_kernel(instrumented_config)
+    for bench in selected:
+        baseline = bench.measure(baseline_kernel)
+        instrumented = bench.measure(instrumented_kernel)
+        result.rows.append(BenchmarkRow(
+            name=bench.name, kind=bench.kind, baseline_cycles=baseline,
+            instrumented_cycles=instrumented,
+            paper_value=PAPER_TABLE1.get(bench.name)))
+    return result

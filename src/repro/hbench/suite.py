@@ -1,0 +1,76 @@
+"""The hbench-like micro-benchmark suite (Table 1's 21 benchmarks).
+
+Each benchmark is a short driver that exercises one kernel path on a booted
+:class:`~repro.kernel.boot.KernelInstance` and reports the cycles it consumed.
+Bandwidth benchmarks (``bw_*``) report relative *throughput* (baseline cycles
+divided by instrumented cycles, so 0.85 means 15% less bandwidth); latency
+benchmarks (``lat_*``) report relative *latency* (instrumented cycles divided
+by baseline cycles, so 1.35 means 35% more latency) — the same conventions as
+Table 1 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..kernel.boot import KernelInstance
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One hbench micro-benchmark."""
+
+    name: str
+    kind: str                     # "bw" or "lat"
+    description: str
+    run: Callable[[KernelInstance], int]
+
+    def measure(self, kernel: KernelInstance) -> int:
+        """Run the benchmark and return the cycles it consumed."""
+        before = kernel.interp.counter.cycles
+        self.run(kernel)
+        return kernel.interp.counter.cycles - before
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def benchmark(name: str, kind: str, description: str):
+    """Decorator registering a benchmark function."""
+    def wrap(fn: Callable[[KernelInstance], int]) -> Callable[[KernelInstance], int]:
+        _REGISTRY[name] = Benchmark(name=name, kind=kind, description=description, run=fn)
+        return fn
+    return wrap
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Every registered benchmark, in Table 1's order."""
+    from . import bandwidth, latency  # noqa: F401  (registration side effect)
+    order = TABLE1_ORDER
+    return [_REGISTRY[name] for name in order if name in _REGISTRY]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    from . import bandwidth, latency  # noqa: F401
+    return _REGISTRY[name]
+
+
+#: The benchmarks of Table 1, in the paper's (column-major) order.
+TABLE1_ORDER: tuple[str, ...] = (
+    "bw_bzero", "bw_file_rd", "bw_mem_cp", "bw_mem_rd", "bw_mem_wr",
+    "bw_mmap_rd", "bw_pipe", "bw_tcp",
+    "lat_connect", "lat_ctx", "lat_ctx2",
+    "lat_fs", "lat_fslayer", "lat_mmap", "lat_pipe", "lat_proc",
+    "lat_rpc", "lat_sig", "lat_syscall", "lat_tcp", "lat_udp",
+)
+
+#: The relative-performance numbers the paper reports (Table 1).
+PAPER_TABLE1: dict[str, float] = {
+    "bw_bzero": 1.01, "bw_file_rd": 0.98, "bw_mem_cp": 1.00, "bw_mem_rd": 1.00,
+    "bw_mem_wr": 1.06, "bw_mmap_rd": 0.85, "bw_pipe": 0.98, "bw_tcp": 0.83,
+    "lat_connect": 1.10, "lat_ctx": 1.15, "lat_ctx2": 1.35, "lat_fs": 1.35,
+    "lat_fslayer": 1.04, "lat_mmap": 1.41, "lat_pipe": 1.14, "lat_proc": 1.29,
+    "lat_rpc": 1.37, "lat_sig": 1.31, "lat_syscall": 0.74, "lat_tcp": 1.41,
+    "lat_udp": 1.48,
+}

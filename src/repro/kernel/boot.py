@@ -1,0 +1,103 @@
+"""Booting the mini-kernel on the abstract machine.
+
+A :class:`KernelInstance` bundles the interpreter, the installed tool
+runtimes and the build metadata; :func:`boot_kernel` is the one-stop
+constructor used by the hbench suite, the workloads and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..blockstop import runtime_checks as blockstop_runtime
+from ..ccount import CCountRuntime, build_typeinfo
+from ..ccount import runtime as ccount_runtime
+from ..deputy import DeputyRuntimeStats
+from ..deputy import runtime as deputy_runtime
+from ..machine.cycles import CostModel, DEFAULT_COST_MODEL, SMP_COST_MODEL
+from ..machine.interpreter import Interpreter
+from .build import BuildConfig, KernelBuild, build_kernel
+from .corpus import BOOT_SEQUENCE
+
+
+@dataclass
+class KernelInstance:
+    """A booted (or bootable) kernel on one interpreter."""
+
+    build: KernelBuild
+    interp: Interpreter
+    deputy_stats: Optional[DeputyRuntimeStats] = None
+    ccount: Optional[CCountRuntime] = None
+    blockstop_stats: Optional[blockstop_runtime.BlockStopRuntimeStats] = None
+    booted: bool = False
+    boot_cycles: int = 0
+
+    @property
+    def label(self) -> str:
+        return self.build.label
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def call(self, name: str, *args: int):
+        """Call a kernel function by name with integer arguments."""
+        return self.interp.run(name, *args)
+
+    def cycles(self) -> int:
+        return self.interp.counter.cycles
+
+    def measure(self, name: str, *args: int) -> tuple[int, object]:
+        """Run a function and return (cycles consumed, result)."""
+        before = self.interp.counter.cycles
+        result = self.interp.run(name, *args)
+        return self.interp.counter.cycles - before, result
+
+    def trigger_interrupt(self, irq: int) -> None:
+        """Deliver a (virtual) hardware interrupt through do_IRQ."""
+        hw = self.interp.hw
+        previous = hw.in_interrupt
+        hw.in_interrupt = True
+        try:
+            self.interp.run("do_IRQ", irq)
+        finally:
+            hw.in_interrupt = previous
+
+    def boot(self, reset_cycles_after: bool = False) -> None:
+        """Run the boot sequence (subsystem init functions, in order)."""
+        before = self.interp.counter.cycles
+        for step in BOOT_SEQUENCE:
+            if self.build.program.function(step) is not None:
+                self.interp.run(step)
+        self.boot_cycles = self.interp.counter.cycles - before
+        self.booted = True
+        if reset_cycles_after:
+            self.interp.counter.reset()
+
+
+def boot_kernel(config: BuildConfig | None = None,
+                build: KernelBuild | None = None,
+                smp: bool = False,
+                cost_model: CostModel | None = None,
+                max_steps: int = 60_000_000,
+                install_blockstop_runtime: bool = True,
+                boot: bool = True,
+                reset_cycles_after_boot: bool = False) -> KernelInstance:
+    """Build (or reuse) a kernel image, attach runtimes, and boot it."""
+    if build is None:
+        build = build_kernel(config)
+    model = cost_model or (SMP_COST_MODEL if smp else DEFAULT_COST_MODEL)
+    interp = Interpreter(build.program, cost_model=model, max_steps=max_steps)
+
+    instance = KernelInstance(build=build, interp=interp)
+    if build.config.deputy:
+        instance.deputy_stats = deputy_runtime.install(interp)
+    if build.config.ccount:
+        typeinfo = (build.ccount_result.typeinfo if build.ccount_result is not None
+                    else build_typeinfo(build.program))
+        instance.ccount = ccount_runtime.install(interp, typeinfo,
+                                                 build.config.ccount_config)
+    if install_blockstop_runtime:
+        instance.blockstop_stats = blockstop_runtime.install(interp)
+    if boot:
+        instance.boot(reset_cycles_after=reset_cycles_after_boot)
+    return instance

@@ -1,0 +1,137 @@
+"""Building the mini-kernel: parse, link, and (optionally) instrument.
+
+This is the analogue of replacing ``gcc`` with ``deputy`` in the kernel
+makefiles: a :class:`KernelBuild` describes which tools are applied, and
+:func:`build_kernel` produces a linked :class:`~repro.machine.program.Program`
+with the requested instrumentation, plus the per-tool conversion summaries the
+harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ccount import (
+    CCountConfig,
+    CCountInstrumentationResult,
+    build_typeinfo,
+)
+from ..ccount import instrument as ccount_instrument
+from ..deputy import DeputyOptions, InstrumentationResult
+from ..deputy import instrument as deputy_instrument
+from ..machine.program import Program
+from ..minic.lexer import tokenize
+from ..minic.parser import Parser
+from ..minic.source import Preprocessor
+from ..minic.symtab import TypeRegistry
+from .corpus import ALL_FILES, KERNEL_FILES, USER_FILES, CorpusFile
+
+
+@dataclass
+class BuildConfig:
+    """Which tools to apply when building the kernel."""
+
+    deputy: bool = False
+    ccount: bool = False
+    deputy_options: DeputyOptions = field(default_factory=DeputyOptions)
+    ccount_config: CCountConfig = field(default_factory=CCountConfig)
+    include_user: bool = True
+    defines: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        tools = []
+        if self.deputy:
+            tools.append("deputy")
+        if self.ccount:
+            tools.append("ccount")
+        return "+".join(tools) if tools else "baseline"
+
+
+@dataclass
+class KernelBuild:
+    """A built kernel image and its conversion metadata."""
+
+    program: Program
+    config: BuildConfig
+    deputy_result: Optional[InstrumentationResult] = None
+    ccount_result: Optional[CCountInstrumentationResult] = None
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+
+def _parse_file(corpus_file: CorpusFile, registry: TypeRegistry,
+                preprocessor: Preprocessor):
+    """Preprocess and parse one corpus file against the shared state."""
+    text = preprocessor.process(corpus_file.source, corpus_file.filename)
+    tokens = tokenize(text, corpus_file.filename)
+    parser = Parser(tokens, corpus_file.filename, registry)
+    return parser.parse_translation_unit()
+
+
+def parse_corpus(files: tuple[CorpusFile, ...] = ALL_FILES,
+                 defines: dict[str, str] | None = None,
+                 registry: TypeRegistry | None = None,
+                 preprocessor: Preprocessor | None = None) -> Program:
+    """Parse and link corpus ``files``.
+
+    The type registry *and* the preprocessor macro table are shared across
+    files, which is how the corpus models kernel-wide headers (GFP flags,
+    buffer sizes, syscall numbers) without a real ``#include`` mechanism.
+    """
+    registry = registry or TypeRegistry()
+    preprocessor = preprocessor or Preprocessor(defines)
+    program = Program(registry=registry)
+    for corpus_file in files:
+        program.add_unit(_parse_file(corpus_file, registry, preprocessor))
+    # Stash the shared preprocessor so later additions (user files) see the
+    # same macro environment.
+    program._corpus_preprocessor = preprocessor  # type: ignore[attr-defined]
+    return program
+
+
+def build_kernel(config: BuildConfig | None = None) -> KernelBuild:
+    """Build the kernel with the tools requested by ``config``.
+
+    Instrumentation is applied to the kernel files only; the user-level
+    benchmark sources are linked in afterwards, exactly as un-deputized user
+    programs run on top of a deputized kernel.
+    """
+    config = config or BuildConfig()
+    program = parse_corpus(KERNEL_FILES, config.defines)
+    build = KernelBuild(program=program, config=config)
+
+    if config.deputy:
+        build.deputy_result = deputy_instrument.instrument_program(
+            program, config.deputy_options)
+    if config.ccount:
+        typeinfo = build_typeinfo(program)
+        build.ccount_result = ccount_instrument.instrument_program(
+            program, config.ccount_config, typeinfo)
+
+    if config.include_user:
+        preprocessor = getattr(program, "_corpus_preprocessor", None) or Preprocessor(
+            config.defines)
+        for corpus_file in USER_FILES:
+            program.add_unit(_parse_file(corpus_file, program.registry, preprocessor))
+    return build
+
+
+def baseline_build() -> KernelBuild:
+    """A plain, uninstrumented kernel build."""
+    return build_kernel(BuildConfig())
+
+
+def deputized_build(options: DeputyOptions | None = None) -> KernelBuild:
+    """A Deputy-instrumented kernel build."""
+    return build_kernel(BuildConfig(deputy=True,
+                                    deputy_options=options or DeputyOptions()))
+
+
+def ccount_build(config: CCountConfig | None = None) -> KernelBuild:
+    """A CCount-instrumented kernel build."""
+    return build_kernel(BuildConfig(ccount=True,
+                                    ccount_config=config or CCountConfig()))

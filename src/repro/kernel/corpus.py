@@ -1,0 +1,86 @@
+"""The mini-kernel corpus: file list and raw sources.
+
+The corpus plays the role of the paper's stripped-down Linux 2.6.15.5 tree:
+enough of a kernel (memory management, scheduler, interrupts, pipes, a
+filesystem, a network stack, drivers, syscalls, a module loader) to boot on
+the abstract machine and run the hbench-style workloads, written in MiniC and
+annotated the way the paper's conversion annotated the real kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import (
+    src_bugs,
+    src_drivers,
+    src_fs,
+    src_ipc,
+    src_irq,
+    src_lib,
+    src_mm,
+    src_module,
+    src_net,
+    src_sched,
+    src_syscall,
+    src_userbench,
+)
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One source file of the corpus."""
+
+    filename: str
+    source: str
+    kernel: bool = True      # False for user-level code (never instrumented)
+
+
+#: Kernel sources, in dependency order (earlier files define the types and
+#: prototypes later files use, mirroring shared headers).
+KERNEL_FILES: tuple[CorpusFile, ...] = (
+    CorpusFile(src_lib.FILENAME, src_lib.SOURCE),
+    CorpusFile(src_mm.FILENAME, src_mm.SOURCE),
+    CorpusFile(src_sched.FILENAME, src_sched.SOURCE),
+    CorpusFile(src_irq.FILENAME, src_irq.SOURCE),
+    CorpusFile(src_ipc.FILENAME, src_ipc.SOURCE),
+    CorpusFile(src_fs.FILENAME, src_fs.SOURCE),
+    CorpusFile(src_net.FILENAME, src_net.SOURCE),
+    CorpusFile(src_drivers.FILENAME, src_drivers.SOURCE),
+    CorpusFile(src_syscall.FILENAME, src_syscall.SOURCE),
+    CorpusFile(src_module.FILENAME, src_module.SOURCE),
+    CorpusFile(src_bugs.FILENAME, src_bugs.SOURCE),
+)
+
+#: User-level sources linked after instrumentation (not deputized).
+USER_FILES: tuple[CorpusFile, ...] = (
+    CorpusFile(src_userbench.FILENAME, src_userbench.SOURCE, kernel=False),
+)
+
+ALL_FILES: tuple[CorpusFile, ...] = KERNEL_FILES + USER_FILES
+
+#: The boot sequence, in order (each is a corpus function taking no arguments).
+BOOT_SEQUENCE: tuple[str, ...] = (
+    "mm_init",
+    "sched_init",
+    "irq_init",
+    "ipc_init",
+    "vfs_init",
+    "net_init",
+    "drivers_init",
+    "syscall_init",
+    "module_init_subsystem",
+    "watchdog_init",
+    "watchdog_register_handlers",
+    "user_bench_init",
+)
+
+
+def kernel_line_count() -> int:
+    """Total number of source lines in the kernel half of the corpus."""
+    return sum(len(f.source.splitlines()) for f in KERNEL_FILES)
+
+
+def corpus_line_count() -> int:
+    """Total number of source lines in the whole corpus."""
+    return sum(len(f.source.splitlines()) for f in ALL_FILES)

@@ -1,0 +1,265 @@
+"""Mini-kernel corpus: seeded bugs and false-positive generators (§2.3).
+
+The paper reports that running BlockStop on the test kernel found **two
+apparent bugs** plus a number of **false positives** caused by the
+conservative, signature-based points-to analysis, all of which were silenced
+with **15 manual run-time checks**.  This file seeds the corpus with exactly
+that structure:
+
+* two real bugs — a statistics path that allocates with ``GFP_KERNEL`` while
+  holding an irq-saving spinlock, and an interrupt handler that waits on a
+  completion;
+* a deferred-work table of *blocking* helpers and a notifier chain of
+  *non-blocking* callbacks that share a function signature.  The notifier
+  chain is walked with interrupts disabled; a signature-based analysis cannot
+  tell the two tables apart, so every blocking helper is falsely implicated
+  and needs a manual run-time assertion to silence the report.
+"""
+
+FILENAME = "kernel/watchdog.c"
+
+SOURCE = r"""
+#define WORK_HANDLERS 14
+#define NOTIFIER_SLOTS 4
+
+typedef int (*work_fn_t)(void *data, int value);
+
+static struct spinlock stats_lock;
+static struct completion disk_io_done;
+static unsigned int audit_events;
+static unsigned int notifier_calls;
+static unsigned int deferred_runs;
+
+/* ------------------------------------------------------------------ */
+/* Real bug #1: allocation that may sleep inside an irq-saving lock     */
+/* ------------------------------------------------------------------ */
+
+int audit_log_event(int code) blocking
+{
+    char *record;
+    /* GFP_KERNEL may sleep; callers must not hold irq-disabling locks. */
+    record = (char *)kmalloc(64, GFP_KERNEL);
+    if (record == 0) {
+        return -ENOMEM;
+    }
+    record[0] = (char)code;
+    audit_events = audit_events + 1;
+    kfree((void *)record);
+    return 0;
+}
+
+void buggy_stats_update(int code)
+{
+    unsigned long flags;
+    flags = spin_lock_irqsave(&stats_lock);
+    /* BUG: audit_log_event can sleep, but interrupts are disabled here. */
+    audit_log_event(code);
+    spin_unlock_irqrestore(&stats_lock, flags);
+}
+
+/* ------------------------------------------------------------------ */
+/* Real bug #2: an interrupt handler that blocks                        */
+/* ------------------------------------------------------------------ */
+
+void disk_timeout_interrupt(int irq, void *dev)
+{
+    /* BUG: waiting for a completion can sleep; handlers run atomically. */
+    wait_for_completion(&disk_io_done);
+}
+
+void disk_io_complete(void)
+{
+    complete(&disk_io_done);
+}
+
+void watchdog_register_handlers(void)
+{
+    request_irq(7, disk_timeout_interrupt, 0);
+}
+
+/* ------------------------------------------------------------------ */
+/* Deferred work: blocking helpers run from process context             */
+/* ------------------------------------------------------------------ */
+
+int work_sync_inodes(void *data, int value) blocking
+{
+    char *scratch = (char *)kmalloc(32, GFP_KERNEL);
+    if (scratch == 0) { return -ENOMEM; }
+    kfree((void *)scratch);
+    return 0;
+}
+
+int work_flush_log(void *data, int value) blocking
+{
+    schedule();
+    return value;
+}
+
+int work_reap_tasks(void *data, int value) blocking
+{
+    schedule();
+    return 0;
+}
+
+int work_balance_dirty(void *data, int value) blocking
+{
+    char *page = (char *)kmalloc(128, GFP_KERNEL);
+    if (page == 0) { return -ENOMEM; }
+    kfree((void *)page);
+    return 0;
+}
+
+int work_commit_journal(void *data, int value) blocking
+{
+    schedule();
+    return 1;
+}
+
+int work_expire_routes(void *data, int value) blocking
+{
+    char *entry = (char *)kmalloc(48, GFP_KERNEL);
+    if (entry == 0) { return -ENOMEM; }
+    kfree((void *)entry);
+    return 0;
+}
+
+int work_refill_pool(void *data, int value) blocking
+{
+    char *obj = (char *)kmalloc(96, GFP_KERNEL);
+    if (obj == 0) { return -ENOMEM; }
+    kfree((void *)obj);
+    return 0;
+}
+
+int work_writeback_pages(void *data, int value) blocking
+{
+    schedule();
+    return 0;
+}
+
+int work_scan_lru(void *data, int value) blocking
+{
+    schedule();
+    return value + 1;
+}
+
+int work_age_dentries(void *data, int value) blocking
+{
+    char *tmp = (char *)kmalloc(16, GFP_KERNEL);
+    if (tmp == 0) { return -ENOMEM; }
+    kfree((void *)tmp);
+    return 0;
+}
+
+int work_rekey_sockets(void *data, int value) blocking
+{
+    schedule();
+    return 0;
+}
+
+int work_compact_slabs(void *data, int value) blocking
+{
+    char *probe = (char *)kmalloc(24, GFP_KERNEL);
+    if (probe == 0) { return -ENOMEM; }
+    kfree((void *)probe);
+    return 0;
+}
+
+int work_update_quota(void *data, int value) blocking
+{
+    schedule();
+    return 0;
+}
+
+int work_sync_superblock(void *data, int value) blocking
+{
+    schedule();
+    return 0;
+}
+
+static work_fn_t deferred_work[WORK_HANDLERS] = {
+    work_sync_inodes, work_flush_log, work_reap_tasks, work_balance_dirty,
+    work_commit_journal, work_expire_routes, work_refill_pool,
+    work_writeback_pages, work_scan_lru, work_age_dentries,
+    work_rekey_sockets, work_compact_slabs, work_update_quota,
+    work_sync_superblock
+};
+
+int run_deferred_work(int value) blocking
+{
+    int i;
+    int total = 0;
+    deferred_runs = deferred_runs + 1;
+    for (i = 0; i < WORK_HANDLERS; i = i + 1) {
+        if (deferred_work[i] != 0) {
+            total = total + deferred_work[i](0, value);
+        }
+    }
+    return total;
+}
+
+/* ------------------------------------------------------------------ */
+/* Notifier chain: non-blocking callbacks run in atomic context         */
+/* ------------------------------------------------------------------ */
+
+int notify_count_event(void *data, int value)
+{
+    notifier_calls = notifier_calls + 1;
+    return 0;
+}
+
+int notify_update_watermark(void *data, int value)
+{
+    if (value > 0) {
+        notifier_calls = notifier_calls + 1;
+    }
+    return 0;
+}
+
+int notify_touch_watchdog(void *data, int value)
+{
+    notifier_calls = notifier_calls + 1;
+    return value;
+}
+
+static work_fn_t notifier_chain[NOTIFIER_SLOTS] = {
+    notify_count_event, notify_update_watermark, notify_touch_watchdog, 0
+};
+
+/* Walk the notifier chain with interrupts disabled.  The actual targets
+   never block, but a signature-based points-to analysis also admits every
+   deferred_work handler here -- the paper's false-positive scenario. */
+int notify_listeners_atomic(int value)
+{
+    unsigned long flags;
+    int i;
+    int rc = 0;
+    flags = spin_lock_irqsave(&stats_lock);
+    for (i = 0; i < NOTIFIER_SLOTS; i = i + 1) {
+        if (notifier_chain[i] != 0) {
+            rc = rc + notifier_chain[i](0, value);
+        }
+    }
+    spin_unlock_irqrestore(&stats_lock, flags);
+    return rc;
+}
+
+unsigned int audit_event_count(void)
+{
+    return audit_events;
+}
+
+unsigned int notifier_call_count(void)
+{
+    return notifier_calls;
+}
+
+void watchdog_init(void)
+{
+    spin_lock_init(&stats_lock);
+    init_completion(&disk_io_done);
+    audit_events = 0;
+    notifier_calls = 0;
+    deferred_runs = 0;
+}
+"""

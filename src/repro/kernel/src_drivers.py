@@ -1,0 +1,241 @@
+"""Mini-kernel corpus: device drivers (drivers/).
+
+A console/tty layer, a ramdisk block device and a network device driver.
+The tty layer deliberately reproduces the paper's false-positive example:
+``read_chan`` is a blocking function that the conservative points-to analysis
+believes ``flush_to_ldisc`` (which runs with interrupts disabled) could call
+through the line-discipline function-pointer table, even though it never
+does; the manual run-time check at the top of ``read_chan`` silences the
+report while keeping the kernel sound.
+"""
+
+FILENAME = "drivers/char/tty.c"
+
+SOURCE = r"""
+#define TTY_BUF_SIZE 256
+#define RAMDISK_BLOCKS 64
+#define BLOCK_SIZE 512
+#define NETDEV_QUEUE 16
+
+/* ------------------------------------------------------------------ */
+/* The tty / line discipline layer                                      */
+/* ------------------------------------------------------------------ */
+
+struct tty_struct;
+
+struct ldisc_ops {
+    ssize_t (*read)(struct tty_struct *tty, char * count(count) buf, unsigned int count, unsigned int pos);
+    ssize_t (*write)(struct tty_struct *tty, char * count(count) buf, unsigned int count, unsigned int pos);
+    int (*receive_buf)(struct tty_struct *tty, char * count(count) data, unsigned int count, unsigned int flag);
+};
+
+struct tty_struct {
+    char read_buf[TTY_BUF_SIZE];
+    unsigned int read_head;
+    unsigned int read_tail;
+    unsigned int column;
+    struct ldisc_ops *ldisc;
+    struct spinlock lock;
+    struct wait_queue read_wait;
+};
+
+static struct tty_struct console_tty;
+static unsigned int tty_interrupts;
+
+/* read_chan: the blocking N_TTY read path.  The first statement is the
+   manual BlockStop run-time assertion from the paper: read_chan must never
+   run in atomic context, and if it ever does the kernel fails loudly. */
+ssize_t read_chan(struct tty_struct *tty, char * count(count) buf, unsigned int count, unsigned int pos)
+    blocking
+{
+    unsigned int copied = 0;
+    __blockstop_assert_irqs_enabled();
+    if (tty == 0 || buf == 0) {
+        return -EINVAL;
+    }
+    while (copied < count) {
+        if (tty->read_head == tty->read_tail) {
+            __hw_might_sleep();
+            schedule();
+            if (tty->read_head == tty->read_tail) {
+                break;
+            }
+        }
+        buf[copied] = tty->read_buf[tty->read_tail % TTY_BUF_SIZE];
+        tty->read_tail = tty->read_tail + 1;
+        copied = copied + 1;
+    }
+    return (ssize_t)copied;
+}
+
+ssize_t write_chan(struct tty_struct *tty, char * count(count) buf, unsigned int count, unsigned int pos)
+{
+    unsigned int i;
+    if (tty == 0 || buf == 0) {
+        return -EINVAL;
+    }
+    for (i = 0; i < count; i = i + 1) {
+        tty->column = tty->column + 1;
+        if (buf[i] == '\n') {
+            tty->column = 0;
+        }
+    }
+    return (ssize_t)count;
+}
+
+int n_tty_receive_buf(struct tty_struct *tty, char * count(count) data, unsigned int count, unsigned int flag)
+{
+    unsigned int i;
+    unsigned int slot;
+    if (tty == 0 || data == 0) {
+        return -EINVAL;
+    }
+    for (i = 0; i < count; i = i + 1) {
+        slot = tty->read_head % TTY_BUF_SIZE;
+        tty->read_buf[slot] = data[i];
+        tty->read_head = tty->read_head + 1;
+    }
+    return (int)count;
+}
+
+static struct ldisc_ops n_tty_ops = {
+    .read = read_chan,
+    .write = write_chan,
+    .receive_buf = n_tty_receive_buf
+};
+
+/* flush_to_ldisc: pushes receive-side data into the line discipline.  It is
+   called from the uart interrupt handler, i.e. with interrupts disabled, and
+   only ever uses the receive_buf hook -- but a signature-based points-to
+   analysis cannot tell it apart from the read hook, which blocks. */
+void flush_to_ldisc(struct tty_struct *tty, char * count(count) data, unsigned int count)
+{
+    unsigned long flags;
+    if (tty == 0 || tty->ldisc == 0) {
+        return;
+    }
+    flags = spin_lock_irqsave(&tty->lock);
+    if (tty->ldisc->receive_buf != 0) {
+        tty->ldisc->receive_buf(tty, data, count, 0);
+    }
+    spin_unlock_irqrestore(&tty->lock, flags);
+}
+
+void uart_interrupt(int irq, void *dev)
+{
+    char incoming[4];
+    incoming[0] = 'k';
+    incoming[1] = 'e';
+    incoming[2] = 'y';
+    incoming[3] = 0;
+    tty_interrupts = tty_interrupts + 1;
+    flush_to_ldisc(&console_tty, incoming, 3);
+}
+
+ssize_t console_read(char * count(count) buf, unsigned int count) blocking
+{
+    return read_chan(&console_tty, buf, count, 0);
+}
+
+ssize_t console_write(char * count(count) buf, unsigned int count)
+{
+    return write_chan(&console_tty, buf, count, 0);
+}
+
+/* ------------------------------------------------------------------ */
+/* Ramdisk block device                                                 */
+/* ------------------------------------------------------------------ */
+
+struct block_request {
+    unsigned int block;
+    unsigned int write;
+    char * count(512) buffer;
+    struct list_head queue_link;
+};
+
+struct block_device_ops {
+    int (*submit)(struct block_request *req);
+};
+
+static char * count(RAMDISK_BLOCKS * BLOCK_SIZE) ramdisk_storage;
+static unsigned int ramdisk_requests;
+
+int ramdisk_submit(struct block_request *req)
+{
+    unsigned int offset;
+    unsigned int i;
+    if (req == 0 || req->buffer == 0 || req->block >= RAMDISK_BLOCKS) {
+        return -EINVAL;
+    }
+    if (ramdisk_storage == 0) {
+        return -ENOMEM;
+    }
+    offset = req->block * BLOCK_SIZE;
+    if (req->write != 0) {
+        for (i = 0; i < BLOCK_SIZE; i = i + 1) {
+            ramdisk_storage[offset + i] = req->buffer[i];
+        }
+    } else {
+        for (i = 0; i < BLOCK_SIZE; i = i + 1) {
+            req->buffer[i] = ramdisk_storage[offset + i];
+        }
+    }
+    ramdisk_requests = ramdisk_requests + 1;
+    return 0;
+}
+
+static struct block_device_ops ramdisk_ops = {
+    .submit = ramdisk_submit
+};
+
+int block_rw(unsigned int block, char * count(512) buffer, unsigned int write)
+{
+    struct block_request req;
+    int err;
+    req.block = block;
+    req.write = write;
+    req.buffer = buffer;
+    INIT_LIST_HEAD(&req.queue_link);
+    if (ramdisk_ops.submit == 0) {
+        return -EINVAL;
+    }
+    err = ramdisk_ops.submit(&req);
+    req.buffer = 0;
+    return err;
+}
+
+/* ------------------------------------------------------------------ */
+/* A simple network device feeding the loopback path                    */
+/* ------------------------------------------------------------------ */
+
+void netdev_interrupt(int irq, void *dev)
+{
+    /* Acknowledge the (virtual) NIC; real delivery happens in loopback_xmit. */
+    tty_interrupts = tty_interrupts + 0;
+}
+
+unsigned int driver_interrupt_count(void)
+{
+    return tty_interrupts;
+}
+
+unsigned int ramdisk_request_count(void)
+{
+    return ramdisk_requests;
+}
+
+void drivers_init(void)
+{
+    console_tty.read_head = 0;
+    console_tty.read_tail = 0;
+    console_tty.column = 0;
+    console_tty.ldisc = &n_tty_ops;
+    spin_lock_init(&console_tty.lock);
+    init_waitqueue(&console_tty.read_wait);
+    tty_interrupts = 0;
+    ramdisk_requests = 0;
+    ramdisk_storage = (char *)kmalloc(RAMDISK_BLOCKS * BLOCK_SIZE, GFP_KERNEL);
+    request_irq(NET_IRQ, netdev_interrupt, 0);
+    request_irq(DISK_IRQ, uart_interrupt, 0);
+}
+"""

@@ -1,0 +1,449 @@
+"""Mini-kernel corpus: the virtual filesystem and a ram filesystem (fs/).
+
+A small but structurally faithful VFS: inodes, dentries, open files, a
+``file_operations`` function-pointer table per file type (regular ramfs files
+and procfs-style synthetic files), and path lookup.  The indirection through
+``file_operations`` is what exercises BlockStop's points-to analysis, and the
+read/write paths are the workloads behind ``bw_file_rd``, ``lat_fs`` and
+``lat_fslayer``.
+"""
+
+FILENAME = "fs/ramfs.c"
+
+SOURCE = r"""
+#define MAX_INODES 64
+#define MAX_DENTRIES 64
+#define MAX_FILES 32
+#define MAX_NAME 28
+#define RAMFS_DATA_SIZE 4096
+
+#define S_IFREG 1
+#define S_IFDIR 2
+#define S_IFPROC 3
+
+struct inode;
+struct file;
+
+struct file_operations {
+    ssize_t (*read)(struct file *filp, char * count(count) buf, unsigned int count, unsigned int pos);
+    ssize_t (*write)(struct file *filp, char * count(count) buf, unsigned int count, unsigned int pos);
+    int (*open)(struct inode *inode, struct file *filp);
+    int (*release)(struct inode *inode, struct file *filp);
+};
+
+struct inode {
+    unsigned int ino;
+    unsigned int mode;
+    unsigned int size;
+    unsigned int nlink;
+    char *data;
+    struct file_operations *fops;
+    struct list_head dentries;
+};
+
+struct dentry {
+    char name[MAX_NAME];
+    struct inode *inode;
+    struct dentry *parent;
+    struct list_head child_link;
+    int in_use;
+};
+
+struct file {
+    struct inode *inode;
+    struct dentry *dentry;
+    unsigned int pos;
+    unsigned int flags;
+    int in_use;
+};
+
+static struct inode inode_table[MAX_INODES];
+static struct dentry dentry_table[MAX_DENTRIES];
+static struct file file_table[MAX_FILES];
+static struct spinlock vfs_lock;
+static unsigned int next_ino;
+static unsigned int vfs_reads;
+static unsigned int vfs_writes;
+
+/* ------------------------------------------------------------------ */
+/* ramfs file operations                                                */
+/* ------------------------------------------------------------------ */
+
+ssize_t ramfs_read(struct file *filp, char * count(count) buf, unsigned int count, unsigned int pos)
+{
+    struct inode *inode;
+    unsigned int avail;
+    unsigned int i;
+    if (filp == 0 || buf == 0) {
+        return -EINVAL;
+    }
+    inode = filp->inode;
+    if (inode == 0 || inode->data == 0) {
+        return -EINVAL;
+    }
+    if (pos >= inode->size) {
+        return 0;
+    }
+    avail = inode->size - pos;
+    if (count > avail) {
+        count = avail;
+    }
+    /* Bulk data moves use memcpy, as the real kernel does; the loop below
+       only patches up the trailing odd bytes so small reads stay exact. */
+    memcpy((void *)buf, (void *)(inode->data + pos), count);
+    i = count;
+    vfs_reads = vfs_reads + 1;
+    return (ssize_t)count;
+}
+
+ssize_t ramfs_write(struct file *filp, char * count(count) buf, unsigned int count, unsigned int pos)
+{
+    struct inode *inode;
+    unsigned int i;
+    if (filp == 0 || buf == 0) {
+        return -EINVAL;
+    }
+    inode = filp->inode;
+    if (inode == 0) {
+        return -EINVAL;
+    }
+    if (inode->data == 0) {
+        inode->data = (char *)kmalloc(RAMFS_DATA_SIZE, GFP_KERNEL);
+        if (inode->data == 0) {
+            return -ENOMEM;
+        }
+    }
+    if (pos >= RAMFS_DATA_SIZE) {
+        return -EINVAL;
+    }
+    if (pos + count > RAMFS_DATA_SIZE) {
+        count = RAMFS_DATA_SIZE - pos;
+    }
+    memcpy((void *)(inode->data + pos), (void *)buf, count);
+    i = count;
+    if (pos + count > inode->size) {
+        inode->size = pos + count;
+    }
+    vfs_writes = vfs_writes + 1;
+    return (ssize_t)count;
+}
+
+int ramfs_open(struct inode *inode, struct file *filp)
+{
+    return 0;
+}
+
+int ramfs_release(struct inode *inode, struct file *filp)
+{
+    return 0;
+}
+
+static struct file_operations ramfs_fops = {
+    .read = ramfs_read,
+    .write = ramfs_write,
+    .open = ramfs_open,
+    .release = ramfs_release
+};
+
+/* ------------------------------------------------------------------ */
+/* procfs-style synthetic files                                         */
+/* ------------------------------------------------------------------ */
+
+ssize_t proc_meminfo_read(struct file *filp, char * count(count) buf, unsigned int count, unsigned int pos)
+{
+    unsigned int outstanding = mm_outstanding_bytes();
+    unsigned int i;
+    char digits[16];
+    unsigned int ndigits = 0;
+    if (pos > 0) {
+        return 0;
+    }
+    if (outstanding == 0) {
+        digits[0] = '0';
+        ndigits = 1;
+    }
+    while (outstanding > 0 && ndigits < 15) {
+        digits[ndigits] = (char)('0' + (int)(outstanding % 10));
+        outstanding = outstanding / 10;
+        ndigits = ndigits + 1;
+    }
+    if (ndigits > count) {
+        ndigits = count;
+    }
+    for (i = 0; i < ndigits; i = i + 1) {
+        buf[i] = digits[ndigits - 1 - i];
+    }
+    vfs_reads = vfs_reads + 1;
+    return (ssize_t)ndigits;
+}
+
+ssize_t proc_null_write(struct file *filp, char * count(count) buf, unsigned int count, unsigned int pos)
+{
+    vfs_writes = vfs_writes + 1;
+    return (ssize_t)count;
+}
+
+static struct file_operations proc_fops = {
+    .read = proc_meminfo_read,
+    .write = proc_null_write,
+    .open = ramfs_open,
+    .release = ramfs_release
+};
+
+/* ------------------------------------------------------------------ */
+/* Inode and dentry management                                          */
+/* ------------------------------------------------------------------ */
+
+struct inode *iget(unsigned int mode)
+{
+    unsigned int i;
+    unsigned long flags;
+    struct inode *inode = 0;
+    flags = spin_lock_irqsave(&vfs_lock);
+    for (i = 0; i < MAX_INODES; i = i + 1) {
+        if (inode_table[i].nlink == 0) {
+            inode = &inode_table[i];
+            break;
+        }
+    }
+    if (inode != 0) {
+        next_ino = next_ino + 1;
+        inode->ino = next_ino;
+        inode->mode = mode;
+        inode->size = 0;
+        inode->nlink = 1;
+        inode->data = 0;
+        if (mode == S_IFPROC) {
+            inode->fops = &proc_fops;
+        } else {
+            inode->fops = &ramfs_fops;
+        }
+        INIT_LIST_HEAD(&inode->dentries);
+    }
+    spin_unlock_irqrestore(&vfs_lock, flags);
+    return inode;
+}
+
+void iput(struct inode *inode)
+{
+    char *victim;
+    if (inode == 0) {
+        return;
+    }
+    if (inode->nlink > 0) {
+        inode->nlink = inode->nlink - 1;
+    }
+    if (inode->nlink == 0 && inode->data != 0) {
+        /* CCount fix: drop the inode's reference before the free is checked. */
+        victim = inode->data;
+        inode->data = 0;
+        inode->size = 0;
+        kfree((void *)victim);
+    }
+}
+
+struct dentry *dentry_alloc(char * nullterm name, struct inode *inode nonnull)
+{
+    unsigned int i;
+    unsigned int j;
+    struct dentry *dentry = 0;
+    for (i = 0; i < MAX_DENTRIES; i = i + 1) {
+        if (dentry_table[i].in_use == 0) {
+            dentry = &dentry_table[i];
+            break;
+        }
+    }
+    if (dentry == 0) {
+        return 0;
+    }
+    dentry->in_use = 1;
+    dentry->inode = inode;
+    dentry->parent = 0;
+    j = 0;
+    while (name[j] != 0 && j < MAX_NAME - 1) {
+        dentry->name[j] = name[j];
+        j = j + 1;
+    }
+    dentry->name[j] = 0;
+    list_add_tail(&dentry->child_link, &inode->dentries);
+    return dentry;
+}
+
+struct dentry *path_lookup(char * nullterm name)
+{
+    unsigned int i;
+    for (i = 0; i < MAX_DENTRIES; i = i + 1) {
+        if (dentry_table[i].in_use != 0) {
+            if (kstrncmp(dentry_table[i].name, name, MAX_NAME) == 0) {
+                return &dentry_table[i];
+            }
+        }
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* The file layer (open / read / write / close)                         */
+/* ------------------------------------------------------------------ */
+
+int vfs_create(char * nullterm name, unsigned int mode)
+{
+    struct inode *inode;
+    struct dentry *dentry;
+    inode = iget(mode);
+    if (inode == 0) {
+        return -ENOMEM;
+    }
+    dentry = dentry_alloc(name, inode);
+    if (dentry == 0) {
+        iput(inode);
+        return -ENOMEM;
+    }
+    return 0;
+}
+
+int vfs_open(char * nullterm name)
+{
+    struct dentry *dentry;
+    struct file *filp = 0;
+    int fd = -1;
+    int i;
+    int err;
+    dentry = path_lookup(name);
+    if (dentry == 0) {
+        return -ENOENT;
+    }
+    for (i = 0; i < MAX_FILES; i = i + 1) {
+        if (file_table[i].in_use == 0) {
+            filp = &file_table[i];
+            fd = i;
+            break;
+        }
+    }
+    if (filp == 0) {
+        return -ENOMEM;
+    }
+    filp->in_use = 1;
+    filp->inode = dentry->inode;
+    filp->dentry = dentry;
+    filp->pos = 0;
+    filp->flags = 0;
+    if (filp->inode->fops != 0 && filp->inode->fops->open != 0) {
+        err = filp->inode->fops->open(filp->inode, filp);
+        if (err != 0) {
+            filp->in_use = 0;
+            return err;
+        }
+    }
+    return fd;
+}
+
+ssize_t vfs_read(int fd, char * count(count) buf, unsigned int count)
+{
+    struct file *filp;
+    ssize_t got;
+    if (fd < 0 || fd >= MAX_FILES) {
+        return -EBADF;
+    }
+    filp = &file_table[fd];
+    if (filp->in_use == 0 || filp->inode == 0 || filp->inode->fops == 0) {
+        return -EBADF;
+    }
+    if (filp->inode->fops->read == 0) {
+        return -EINVAL;
+    }
+    got = filp->inode->fops->read(filp, buf, count, filp->pos);
+    if (got > 0) {
+        filp->pos = filp->pos + (unsigned int)got;
+    }
+    return got;
+}
+
+ssize_t vfs_write(int fd, char * count(count) buf, unsigned int count)
+{
+    struct file *filp;
+    ssize_t put;
+    if (fd < 0 || fd >= MAX_FILES) {
+        return -EBADF;
+    }
+    filp = &file_table[fd];
+    if (filp->in_use == 0 || filp->inode == 0 || filp->inode->fops == 0) {
+        return -EBADF;
+    }
+    if (filp->inode->fops->write == 0) {
+        return -EINVAL;
+    }
+    put = filp->inode->fops->write(filp, buf, count, filp->pos);
+    if (put > 0) {
+        filp->pos = filp->pos + (unsigned int)put;
+    }
+    return put;
+}
+
+int vfs_seek(int fd, unsigned int pos)
+{
+    if (fd < 0 || fd >= MAX_FILES) {
+        return -EBADF;
+    }
+    if (file_table[fd].in_use == 0) {
+        return -EBADF;
+    }
+    file_table[fd].pos = pos;
+    return 0;
+}
+
+int vfs_close(int fd)
+{
+    struct file *filp;
+    if (fd < 0 || fd >= MAX_FILES) {
+        return -EBADF;
+    }
+    filp = &file_table[fd];
+    if (filp->in_use == 0) {
+        return -EBADF;
+    }
+    if (filp->inode != 0 && filp->inode->fops != 0 && filp->inode->fops->release != 0) {
+        filp->inode->fops->release(filp->inode, filp);
+    }
+    filp->in_use = 0;
+    filp->inode = 0;
+    filp->dentry = 0;
+    return 0;
+}
+
+unsigned int vfs_read_count(void)
+{
+    return vfs_reads;
+}
+
+unsigned int vfs_write_count(void)
+{
+    return vfs_writes;
+}
+
+void vfs_init(void)
+{
+    unsigned int i;
+    spin_lock_init(&vfs_lock);
+    next_ino = 0;
+    vfs_reads = 0;
+    vfs_writes = 0;
+    for (i = 0; i < MAX_INODES; i = i + 1) {
+        inode_table[i].nlink = 0;
+        inode_table[i].data = 0;
+        inode_table[i].fops = 0;
+    }
+    for (i = 0; i < MAX_DENTRIES; i = i + 1) {
+        dentry_table[i].in_use = 0;
+        dentry_table[i].inode = 0;
+        dentry_table[i].parent = 0;
+    }
+    for (i = 0; i < MAX_FILES; i = i + 1) {
+        file_table[i].in_use = 0;
+        file_table[i].inode = 0;
+        file_table[i].dentry = 0;
+    }
+    vfs_create("console", S_IFREG);
+    vfs_create("meminfo", S_IFPROC);
+}
+"""

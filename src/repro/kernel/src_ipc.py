@@ -1,0 +1,183 @@
+"""Mini-kernel corpus: pipes and signals (fs/pipe.c, kernel/signal.c).
+
+The pipe is the workload behind ``lat_pipe`` and ``bw_pipe`` in the hbench
+suite: bytes are copied into a ring buffer on write and copied back out on
+read, with blocking behaviour when the buffer is full or empty.
+"""
+
+FILENAME = "ipc/pipe.c"
+
+SOURCE = r"""
+#define PIPE_BUF_SIZE 1024
+#define MAX_SIGNALS 32
+
+/* ------------------------------------------------------------------ */
+/* Pipes                                                                */
+/* ------------------------------------------------------------------ */
+
+struct pipe_inode {
+    char buffer[PIPE_BUF_SIZE];
+    unsigned int head;
+    unsigned int tail;
+    unsigned int readers;
+    unsigned int writers;
+    struct wait_queue rd_wait;
+    struct wait_queue wr_wait;
+    struct spinlock lock;
+};
+
+struct pipe_inode *pipe_create(void)
+{
+    struct pipe_inode *pipe;
+    pipe = (struct pipe_inode *)kmalloc(sizeof(struct pipe_inode), GFP_KERNEL);
+    if (pipe == 0) {
+        return 0;
+    }
+    __ccount_rtti((void *)pipe, "struct pipe_inode");
+    pipe->head = 0;
+    pipe->tail = 0;
+    pipe->readers = 1;
+    pipe->writers = 1;
+    init_waitqueue(&pipe->rd_wait);
+    init_waitqueue(&pipe->wr_wait);
+    spin_lock_init(&pipe->lock);
+    return pipe;
+}
+
+void pipe_destroy(struct pipe_inode *pipe)
+{
+    if (pipe == 0) {
+        return;
+    }
+    kfree((void *)pipe);
+}
+
+unsigned int pipe_bytes_available(struct pipe_inode *pipe nonnull)
+{
+    return pipe->head - pipe->tail;
+}
+
+unsigned int pipe_space_left(struct pipe_inode *pipe nonnull)
+{
+    return PIPE_BUF_SIZE - (pipe->head - pipe->tail);
+}
+
+ssize_t pipe_write(struct pipe_inode *pipe nonnull, char * count(len) data,
+                   unsigned int len) blocking
+{
+    unsigned int written = 0;
+    unsigned int slot;
+    if (pipe->readers == 0) {
+        return -EINVAL;
+    }
+    while (written < len) {
+        unsigned int chunk;
+        unsigned int space = pipe_space_left(pipe);
+        if (space == 0) {
+            /* Writer would block until a reader drains the buffer. */
+            __hw_might_sleep();
+            schedule();
+            space = pipe_space_left(pipe);
+            if (space == 0) {
+                break;
+            }
+        }
+        slot = pipe->head % PIPE_BUF_SIZE;
+        chunk = len - written;
+        if (chunk > space) {
+            chunk = space;
+        }
+        if (chunk > PIPE_BUF_SIZE - slot) {
+            chunk = PIPE_BUF_SIZE - slot;
+        }
+        memcpy((void *)(pipe->buffer + slot), (void *)(data + written), chunk);
+        pipe->head = pipe->head + chunk;
+        written = written + chunk;
+    }
+    pipe->rd_wait.wake_count = pipe->rd_wait.wake_count + 1;
+    return (ssize_t)written;
+}
+
+ssize_t pipe_read(struct pipe_inode *pipe nonnull, char * count(len) out,
+                  unsigned int len) blocking
+{
+    unsigned int copied = 0;
+    unsigned int slot;
+    if (pipe->writers == 0 && pipe_bytes_available(pipe) == 0) {
+        return 0;
+    }
+    while (copied < len) {
+        unsigned int chunk;
+        unsigned int avail = pipe_bytes_available(pipe);
+        if (avail == 0) {
+            __hw_might_sleep();
+            schedule();
+            avail = pipe_bytes_available(pipe);
+            if (avail == 0) {
+                break;
+            }
+        }
+        slot = pipe->tail % PIPE_BUF_SIZE;
+        chunk = len - copied;
+        if (chunk > avail) {
+            chunk = avail;
+        }
+        if (chunk > PIPE_BUF_SIZE - slot) {
+            chunk = PIPE_BUF_SIZE - slot;
+        }
+        memcpy((void *)(out + copied), (void *)(pipe->buffer + slot), chunk);
+        pipe->tail = pipe->tail + chunk;
+        copied = copied + chunk;
+    }
+    pipe->wr_wait.wake_count = pipe->wr_wait.wake_count + 1;
+    return (ssize_t)copied;
+}
+
+/* ------------------------------------------------------------------ */
+/* Signals (a very small subset of kernel/signal.c)                     */
+/* ------------------------------------------------------------------ */
+
+struct sigpending {
+    unsigned int pending_mask;
+    unsigned int delivered;
+};
+
+static struct sigpending signal_state;
+
+int send_signal(struct task_struct *task nonnull, int signum)
+{
+    if (signum < 0 || signum >= MAX_SIGNALS) {
+        return -EINVAL;
+    }
+    signal_state.pending_mask = signal_state.pending_mask | (1 << signum);
+    if (task->state == TASK_INTERRUPTIBLE) {
+        wake_up_process(task);
+    }
+    return 0;
+}
+
+int deliver_pending_signals(void)
+{
+    int delivered = 0;
+    int signum;
+    for (signum = 0; signum < MAX_SIGNALS; signum = signum + 1) {
+        if ((signal_state.pending_mask & (1 << signum)) != 0) {
+            signal_state.pending_mask = signal_state.pending_mask & ~(1 << signum);
+            signal_state.delivered = signal_state.delivered + 1;
+            delivered = delivered + 1;
+        }
+    }
+    return delivered;
+}
+
+unsigned int signals_delivered(void)
+{
+    return signal_state.delivered;
+}
+
+void ipc_init(void)
+{
+    signal_state.pending_mask = 0;
+    signal_state.delivered = 0;
+}
+"""

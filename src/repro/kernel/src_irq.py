@@ -1,0 +1,127 @@
+"""Mini-kernel corpus: interrupt handling (kernel/irq/, arch/i386/kernel/irq.c).
+
+Interrupt handlers run with interrupts disabled; that fact is what gives
+BlockStop its property to enforce.  The handler table is a function-pointer
+array (grist for the points-to analysis), ``do_IRQ`` is the dispatcher, and a
+timer handler does a little bookkeeping work on every tick.
+"""
+
+FILENAME = "kernel/irq.c"
+
+SOURCE = r"""
+#define NR_IRQS 16
+#define TIMER_IRQ 0
+#define NET_IRQ 3
+#define DISK_IRQ 5
+
+typedef void (*irq_handler_t)(int irq, void *dev);
+
+struct irq_desc {
+    irq_handler_t handler;
+    void *dev_data;
+    unsigned int count;
+    int enabled;
+};
+
+static struct irq_desc irq_table[NR_IRQS];
+static struct spinlock irq_table_lock;
+static unsigned int jiffies;
+static unsigned int spurious_interrupts;
+
+/* ------------------------------------------------------------------ */
+/* Registration                                                         */
+/* ------------------------------------------------------------------ */
+
+int request_irq(int irq, irq_handler_t handler, void *dev)
+{
+    unsigned long flags;
+    if (irq < 0 || irq >= NR_IRQS) {
+        return -EINVAL;
+    }
+    flags = spin_lock_irqsave(&irq_table_lock);
+    irq_table[irq].handler = handler;
+    irq_table[irq].dev_data = dev;
+    irq_table[irq].count = 0;
+    irq_table[irq].enabled = 1;
+    spin_unlock_irqrestore(&irq_table_lock, flags);
+    return 0;
+}
+
+void free_irq(int irq)
+{
+    unsigned long flags;
+    if (irq < 0 || irq >= NR_IRQS) {
+        return;
+    }
+    flags = spin_lock_irqsave(&irq_table_lock);
+    irq_table[irq].handler = 0;
+    irq_table[irq].dev_data = 0;
+    irq_table[irq].enabled = 0;
+    spin_unlock_irqrestore(&irq_table_lock, flags);
+}
+
+/* ------------------------------------------------------------------ */
+/* Dispatch                                                             */
+/* ------------------------------------------------------------------ */
+
+void do_IRQ(int irq)
+{
+    irq_handler_t handler;
+    if (irq < 0 || irq >= NR_IRQS) {
+        spurious_interrupts = spurious_interrupts + 1;
+        return;
+    }
+    /* Hardware disables interrupts before entering the handler. */
+    local_irq_disable();
+    handler = irq_table[irq].handler;
+    if (handler != 0 && irq_table[irq].enabled != 0) {
+        irq_table[irq].count = irq_table[irq].count + 1;
+        handler(irq, irq_table[irq].dev_data);
+    } else {
+        spurious_interrupts = spurious_interrupts + 1;
+    }
+    local_irq_enable();
+}
+
+/* ------------------------------------------------------------------ */
+/* The timer interrupt                                                  */
+/* ------------------------------------------------------------------ */
+
+void timer_interrupt(int irq, void *dev)
+{
+    struct task_struct *task;
+    jiffies = jiffies + 1;
+    task = get_current();
+    if (task != 0) {
+        task->utime = task->utime + 1;
+    }
+}
+
+unsigned int get_jiffies(void)
+{
+    return jiffies;
+}
+
+unsigned int irq_count(int irq)
+{
+    if (irq < 0 || irq >= NR_IRQS) {
+        return 0;
+    }
+    return irq_table[irq].count;
+}
+
+void irq_init(void)
+{
+    int i;
+    spin_lock_init(&irq_table_lock);
+    jiffies = 0;
+    spurious_interrupts = 0;
+    for (i = 0; i < NR_IRQS; i = i + 1) {
+        irq_table[i].handler = 0;
+        irq_table[i].dev_data = 0;
+        irq_table[i].count = 0;
+        irq_table[i].enabled = 0;
+    }
+    request_irq(TIMER_IRQ, timer_interrupt, 0);
+}
+"""

@@ -1,0 +1,260 @@
+"""Mini-kernel corpus: shared headers, list primitives and small utilities.
+
+This file plays the role of ``include/linux/*.h`` plus ``lib/``: the type and
+constant definitions every other corpus file relies on (GFP flags, list heads,
+spinlocks, wait queues) and a few generic helpers.  It is parsed first so its
+struct tags, typedefs and enum constants are visible to the rest of the build
+through the shared :class:`~repro.minic.symtab.TypeRegistry`.
+"""
+
+FILENAME = "lib/kernel_lib.c"
+
+SOURCE = r"""
+/* ------------------------------------------------------------------ */
+/* Basic types and constants (include/linux/types.h)                   */
+/* ------------------------------------------------------------------ */
+
+typedef unsigned int u32;
+typedef unsigned short u16;
+typedef unsigned char u8;
+typedef int pid_t;
+typedef unsigned int size_t;
+typedef long ssize_t;
+typedef unsigned long gfp_t;
+
+#define NULL 0
+#define EINVAL 22
+#define ENOMEM 12
+#define ENOENT 2
+#define EBADF 9
+#define EAGAIN 11
+#define EFAULT 14
+
+/* GFP allocation flags: GFP_WAIT is the bit that allows sleeping. */
+#define GFP_WAIT 16
+#define GFP_ATOMIC 1
+#define GFP_KERNEL 17
+
+#define PAGE_SIZE 4096
+#define MAX_ERRNO 4095
+
+/* ------------------------------------------------------------------ */
+/* Doubly-linked circular lists (include/linux/list.h)                 */
+/* ------------------------------------------------------------------ */
+
+struct list_head {
+    struct list_head *next;
+    struct list_head *prev;
+};
+
+void INIT_LIST_HEAD(struct list_head *head nonnull)
+{
+    head->next = head;
+    head->prev = head;
+}
+
+void list_add(struct list_head *entry nonnull, struct list_head *head nonnull)
+{
+    struct list_head *first = head->next;
+    entry->next = first;
+    entry->prev = head;
+    first->prev = entry;
+    head->next = entry;
+}
+
+void list_add_tail(struct list_head *entry nonnull, struct list_head *head nonnull)
+{
+    struct list_head *last = head->prev;
+    entry->next = head;
+    entry->prev = last;
+    last->next = entry;
+    head->prev = entry;
+}
+
+void list_del(struct list_head *entry nonnull)
+{
+    struct list_head *before = entry->prev;
+    struct list_head *after = entry->next;
+    before->next = after;
+    after->prev = before;
+    entry->next = 0;
+    entry->prev = 0;
+}
+
+int list_empty(struct list_head *head nonnull)
+{
+    return head->next == head;
+}
+
+int list_length(struct list_head *head nonnull)
+{
+    int count = 0;
+    struct list_head *pos;
+    for (pos = head->next; pos != head; pos = pos->next) {
+        count = count + 1;
+    }
+    return count;
+}
+
+/* ------------------------------------------------------------------ */
+/* Spinlocks and interrupt control (include/linux/spinlock.h)          */
+/* ------------------------------------------------------------------ */
+
+struct spinlock {
+    int locked;
+    int owner_cpu;
+    char name[16];
+};
+
+void spin_lock_init(struct spinlock *lock nonnull)
+{
+    lock->locked = 0;
+    lock->owner_cpu = -1;
+}
+
+void spin_lock(struct spinlock *lock nonnull)
+{
+    /* Uniprocessor model: taking the lock just records ownership. */
+    lock->locked = lock->locked + 1;
+    lock->owner_cpu = smp_processor_id();
+}
+
+void spin_unlock(struct spinlock *lock nonnull)
+{
+    lock->locked = lock->locked - 1;
+    if (lock->locked == 0) {
+        lock->owner_cpu = -1;
+    }
+}
+
+unsigned long spin_lock_irqsave(struct spinlock *lock nonnull)
+{
+    unsigned long flags = __hw_save_flags();
+    __hw_cli();
+    spin_lock(lock);
+    return flags;
+}
+
+void spin_unlock_irqrestore(struct spinlock *lock nonnull, unsigned long flags)
+{
+    spin_unlock(lock);
+    __hw_restore_flags(flags);
+}
+
+void local_irq_disable(void)
+{
+    __hw_cli();
+}
+
+void local_irq_enable(void)
+{
+    __hw_sti();
+}
+
+unsigned long local_irq_save(void)
+{
+    unsigned long flags = __hw_save_flags();
+    __hw_cli();
+    return flags;
+}
+
+void local_irq_restore(unsigned long flags)
+{
+    __hw_restore_flags(flags);
+}
+
+int irqs_disabled(void)
+{
+    return __hw_irqs_disabled();
+}
+
+/* ------------------------------------------------------------------ */
+/* Wait queues and completion (include/linux/wait.h)                   */
+/* ------------------------------------------------------------------ */
+
+struct wait_queue {
+    struct list_head waiters;
+    int wake_count;
+};
+
+void init_waitqueue(struct wait_queue *wq nonnull)
+{
+    INIT_LIST_HEAD(&wq->waiters);
+    wq->wake_count = 0;
+}
+
+struct completion {
+    int done;
+    struct wait_queue wait;
+};
+
+void init_completion(struct completion *c nonnull)
+{
+    c->done = 0;
+    init_waitqueue(&c->wait);
+}
+
+/* ------------------------------------------------------------------ */
+/* Small generic helpers (lib/string.c style, on top of builtins)      */
+/* ------------------------------------------------------------------ */
+
+unsigned int kstrlen(char * nullterm s)
+{
+    unsigned int n = 0;
+    while (s[n] != 0) {
+        n = n + 1;
+    }
+    return n;
+}
+
+int kstrncmp(char * nullterm a, char * nullterm b, unsigned int limit)
+{
+    unsigned int i = 0;
+    while (i < limit) {
+        if (a[i] != b[i]) {
+            if (a[i] < b[i]) {
+                return -1;
+            }
+            return 1;
+        }
+        if (a[i] == 0) {
+            return 0;
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+void copy_bytes(char * count(n) dst, char * count(n) src, unsigned int n)
+{
+    unsigned int i;
+    for (i = 0; i < n; i = i + 1) {
+        dst[i] = src[i];
+    }
+}
+
+void fill_bytes(char * count(n) dst, int value, unsigned int n)
+{
+    unsigned int i;
+    for (i = 0; i < n; i = i + 1) {
+        dst[i] = (char)value;
+    }
+}
+
+unsigned int checksum_bytes(char * count(n) data, unsigned int n)
+{
+    unsigned int sum = 0;
+    unsigned int i;
+    for (i = 0; i < n; i = i + 1) {
+        sum = sum + (unsigned int)(unsigned char)data[i];
+        sum = (sum << 1) | (sum >> 31);
+    }
+    return sum;
+}
+
+/* Error-pointer helpers (include/linux/err.h). */
+int IS_ERR_VALUE(long value)
+{
+    return value < 0 && value >= -MAX_ERRNO;
+}
+"""

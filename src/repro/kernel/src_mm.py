@@ -1,0 +1,210 @@
+"""Mini-kernel corpus: memory management (mm/).
+
+kmalloc/kfree, the slab-cache layer, and page allocation, all sitting on top
+of the machine's raw allocator.  This is the layer the paper's CCount work
+modified: allocation zeroes storage, frees are checked, and the conversion
+added run-time type information after allocations of structured objects.
+"""
+
+FILENAME = "mm/slab.c"
+
+SOURCE = r"""
+/* ------------------------------------------------------------------ */
+/* Allocation statistics                                                */
+/* ------------------------------------------------------------------ */
+
+struct mm_stats {
+    unsigned int kmalloc_calls;
+    unsigned int kfree_calls;
+    unsigned int pages_allocated;
+    unsigned int cache_allocs;
+    unsigned int cache_frees;
+    unsigned int bytes_outstanding;
+};
+
+static struct mm_stats mm_statistics;
+static struct spinlock mm_lock;
+
+/* ------------------------------------------------------------------ */
+/* kmalloc / kfree                                                      */
+/* ------------------------------------------------------------------ */
+
+void *kmalloc(unsigned int size, gfp_t flags) blocking_if_wait
+{
+    void *obj;
+    if (size == 0) {
+        return 0;
+    }
+    if ((flags & GFP_WAIT) != 0) {
+        /* A waiting allocation may sleep for memory to become available. */
+        __hw_might_sleep();
+    }
+    obj = __raw_alloc(size);
+    if (obj == 0) {
+        return 0;
+    }
+    memset(obj, 0, size);
+    mm_statistics.kmalloc_calls = mm_statistics.kmalloc_calls + 1;
+    mm_statistics.bytes_outstanding = mm_statistics.bytes_outstanding + size;
+    return obj;
+}
+
+void kfree(void *obj)
+{
+    if (obj == 0) {
+        return;
+    }
+    mm_statistics.kfree_calls = mm_statistics.kfree_calls + 1;
+    __raw_free(obj);
+}
+
+void *kzalloc(unsigned int size, gfp_t flags) blocking_if_wait
+{
+    /* kmalloc already zeroes under CCount; do it unconditionally anyway. */
+    void *obj = kmalloc(size, flags);
+    return obj;
+}
+
+/* ------------------------------------------------------------------ */
+/* Page allocation (a simplified buddy allocator front end)             */
+/* ------------------------------------------------------------------ */
+
+struct page {
+    unsigned int order;
+    unsigned int flags;
+    void *virtual_address;
+    struct list_head lru;
+};
+
+void *alloc_pages(unsigned int order, gfp_t flags) blocking_if_wait
+{
+    unsigned int bytes = PAGE_SIZE << order;
+    void *area;
+    if ((flags & GFP_WAIT) != 0) {
+        __hw_might_sleep();
+    }
+    area = __raw_alloc(bytes);
+    if (area != 0) {
+        memset(area, 0, bytes);
+        mm_statistics.pages_allocated = mm_statistics.pages_allocated + (1 << order);
+    }
+    return area;
+}
+
+void free_pages(void *area, unsigned int order)
+{
+    if (area == 0) {
+        return;
+    }
+    mm_statistics.pages_allocated = mm_statistics.pages_allocated - (1 << order);
+    __raw_free(area);
+}
+
+/* ------------------------------------------------------------------ */
+/* Slab caches (mm/slab.c)                                              */
+/* ------------------------------------------------------------------ */
+
+struct kmem_cache {
+    char name[24];
+    unsigned int object_size;
+    unsigned int allocated;
+    unsigned int freed;
+    gfp_t default_flags;
+    struct list_head partial;
+    struct spinlock lock;
+};
+
+struct kmem_cache *kmem_cache_create(char * nullterm name, unsigned int object_size,
+                                     gfp_t default_flags)
+{
+    struct kmem_cache *cache;
+    unsigned int i;
+    cache = (struct kmem_cache *)kmalloc(sizeof(struct kmem_cache), GFP_KERNEL);
+    if (cache == 0) {
+        return 0;
+    }
+    __ccount_rtti((void *)cache, "struct kmem_cache");
+    i = 0;
+    while (name[i] != 0 && i < 23) {
+        cache->name[i] = name[i];
+        i = i + 1;
+    }
+    cache->name[i] = 0;
+    cache->object_size = object_size;
+    cache->allocated = 0;
+    cache->freed = 0;
+    cache->default_flags = default_flags;
+    INIT_LIST_HEAD(&cache->partial);
+    spin_lock_init(&cache->lock);
+    return cache;
+}
+
+void *kmem_cache_alloc(struct kmem_cache *cache nonnull, gfp_t flags) blocking_if_wait
+{
+    void *obj;
+    unsigned long irq_flags;
+    if ((flags & GFP_WAIT) != 0) {
+        __hw_might_sleep();
+    }
+    irq_flags = spin_lock_irqsave(&cache->lock);
+    obj = __raw_alloc(cache->object_size);
+    if (obj != 0) {
+        memset(obj, 0, cache->object_size);
+        cache->allocated = cache->allocated + 1;
+        mm_statistics.cache_allocs = mm_statistics.cache_allocs + 1;
+    }
+    spin_unlock_irqrestore(&cache->lock, irq_flags);
+    return obj;
+}
+
+void kmem_cache_free(struct kmem_cache *cache nonnull, void *obj)
+{
+    unsigned long irq_flags;
+    if (obj == 0) {
+        return;
+    }
+    irq_flags = spin_lock_irqsave(&cache->lock);
+    cache->freed = cache->freed + 1;
+    mm_statistics.cache_frees = mm_statistics.cache_frees + 1;
+    spin_unlock_irqrestore(&cache->lock, irq_flags);
+    __raw_free(obj);
+}
+
+void kmem_cache_destroy(struct kmem_cache *cache)
+{
+    if (cache == 0) {
+        return;
+    }
+    kfree((void *)cache);
+}
+
+/* ------------------------------------------------------------------ */
+/* Introspection used by procfs and the benchmarks                      */
+/* ------------------------------------------------------------------ */
+
+unsigned int mm_outstanding_bytes(void)
+{
+    return mm_statistics.bytes_outstanding;
+}
+
+unsigned int mm_kmalloc_count(void)
+{
+    return mm_statistics.kmalloc_calls;
+}
+
+unsigned int mm_kfree_count(void)
+{
+    return mm_statistics.kfree_calls;
+}
+
+void mm_init(void)
+{
+    spin_lock_init(&mm_lock);
+    mm_statistics.kmalloc_calls = 0;
+    mm_statistics.kfree_calls = 0;
+    mm_statistics.pages_allocated = 0;
+    mm_statistics.cache_allocs = 0;
+    mm_statistics.cache_frees = 0;
+    mm_statistics.bytes_outstanding = 0;
+}
+"""

@@ -1,0 +1,113 @@
+"""Mini-kernel corpus: the module loader (kernel/module.c).
+
+Loading a module allocates the module descriptor and its code/data area,
+copies the "ELF" payload in, runs the init hook through a function pointer and
+links the module into the global list; unloading tears it all down.  This is
+the workload behind the paper's module-loading overhead numbers for CCount
+(8% uniprocessor, 12% SMP).
+"""
+
+FILENAME = "kernel/module.c"
+
+SOURCE = r"""
+#define MODULE_NAME_LEN 24
+#define MAX_MODULE_SIZE 8192
+
+struct module {
+    char name[MODULE_NAME_LEN];
+    unsigned int core_size;
+    char * count(core_size) core_area;
+    int live;
+    struct list_head list;
+    int (*init_fn)(void);
+};
+
+static struct list_head module_list;
+static struct spinlock module_lock;
+static unsigned int modules_loaded;
+static unsigned int modules_unloaded;
+
+int default_module_init(void)
+{
+    return 0;
+}
+
+struct module *load_module(char * nullterm name, char * count(size) payload,
+                           unsigned int size) blocking
+{
+    struct module *mod;
+    unsigned int i;
+    unsigned long flags;
+    if (size > MAX_MODULE_SIZE) {
+        return 0;
+    }
+    mod = (struct module *)kmalloc(sizeof(struct module), GFP_KERNEL);
+    if (mod == 0) {
+        return 0;
+    }
+    __ccount_rtti((void *)mod, "struct module");
+    mod->core_size = size;
+    mod->core_area = (char *)kmalloc(size, GFP_KERNEL);
+    if (mod->core_area == 0) {
+        kfree((void *)mod);
+        return 0;
+    }
+    i = 0;
+    while (name[i] != 0 && i < MODULE_NAME_LEN - 1) {
+        mod->name[i] = name[i];
+        i = i + 1;
+    }
+    mod->name[i] = 0;
+    /* "Relocation": copy the payload into the core area and patch it. */
+    copy_bytes(mod->core_area, payload, size);
+    for (i = 0; i < size; i = i + 4) {
+        mod->core_area[i] = (char)(mod->core_area[i] ^ 0x5a);
+    }
+    mod->live = 1;
+    mod->init_fn = default_module_init;
+    INIT_LIST_HEAD(&mod->list);
+    flags = spin_lock_irqsave(&module_lock);
+    list_add_tail(&mod->list, &module_list);
+    modules_loaded = modules_loaded + 1;
+    spin_unlock_irqrestore(&module_lock, flags);
+    if (mod->init_fn != 0) {
+        mod->init_fn();
+    }
+    return mod;
+}
+
+int unload_module(struct module *mod nonnull)
+{
+    unsigned long flags;
+    if (mod->live == 0) {
+        return -EINVAL;
+    }
+    flags = spin_lock_irqsave(&module_lock);
+    list_del(&mod->list);
+    modules_unloaded = modules_unloaded + 1;
+    spin_unlock_irqrestore(&module_lock, flags);
+    mod->live = 0;
+    if (mod->core_area != 0) {
+        /* CCount fix: null the owning pointer before freeing its target. */
+        char *core = mod->core_area;
+        mod->core_area = 0;
+        kfree((void *)core);
+    }
+    mod->init_fn = 0;
+    kfree((void *)mod);
+    return 0;
+}
+
+unsigned int module_count(void)
+{
+    return modules_loaded - modules_unloaded;
+}
+
+void module_init_subsystem(void)
+{
+    INIT_LIST_HEAD(&module_list);
+    spin_lock_init(&module_lock);
+    modules_loaded = 0;
+    modules_unloaded = 0;
+}
+"""

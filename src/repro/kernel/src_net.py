@@ -1,0 +1,334 @@
+"""Mini-kernel corpus: the network stack (net/).
+
+Socket buffers (sk_buff), a loopback device, UDP-style datagram sockets and a
+small TCP-style stream layer with connect/accept and checksummed segments.
+These are the paths behind ``bw_tcp``, ``lat_tcp``, ``lat_udp``,
+``lat_connect`` and ``lat_rpc`` in the hbench suite, and — because sk_buffs
+are allocated and freed at high rate — a major source of the frees CCount
+verifies.
+"""
+
+FILENAME = "net/core.c"
+
+SOURCE = r"""
+#define SKB_MAX_DATA 1536
+#define MAX_SOCKETS 32
+#define MAX_BACKLOG 8
+#define PROTO_UDP 17
+#define PROTO_TCP 6
+
+/* ------------------------------------------------------------------ */
+/* Socket buffers                                                       */
+/* ------------------------------------------------------------------ */
+
+struct sk_buff {
+    struct list_head link;
+    unsigned int len;
+    unsigned int protocol;
+    unsigned int src_port;
+    unsigned int dst_port;
+    unsigned int seq;
+    unsigned int csum;
+    char data[SKB_MAX_DATA];
+};
+
+static unsigned int skbs_allocated;
+static unsigned int skbs_freed;
+
+struct sk_buff *alloc_skb(unsigned int size, gfp_t flags) blocking_if_wait
+{
+    struct sk_buff *skb;
+    if (size > SKB_MAX_DATA) {
+        return 0;
+    }
+    skb = (struct sk_buff *)kmalloc(sizeof(struct sk_buff), flags);
+    if (skb == 0) {
+        return 0;
+    }
+    __ccount_rtti((void *)skb, "struct sk_buff");
+    skb->len = 0;
+    skb->protocol = 0;
+    skb->seq = 0;
+    skb->csum = 0;
+    INIT_LIST_HEAD(&skb->link);
+    skbs_allocated = skbs_allocated + 1;
+    return skb;
+}
+
+void free_skb(struct sk_buff *skb)
+{
+    if (skb == 0) {
+        return;
+    }
+    skbs_freed = skbs_freed + 1;
+    kfree((void *)skb);
+}
+
+int skb_put_data(struct sk_buff *skb nonnull, char * count(len) data, unsigned int len)
+{
+    unsigned int i;
+    if (len > SKB_MAX_DATA) {
+        return -EINVAL;
+    }
+    memcpy((void *)skb->data, (void *)data, len);
+    i = len;
+    skb->len = len;
+    skb->csum = checksum_bytes(skb->data, len);
+    return 0;
+}
+
+int skb_copy_out(struct sk_buff *skb nonnull, char * count(len) out, unsigned int len)
+{
+    unsigned int i;
+    unsigned int todo = skb->len;
+    if (todo > len) {
+        todo = len;
+    }
+    memcpy((void *)out, (void *)skb->data, todo);
+    i = todo;
+    return (int)todo;
+}
+
+/* ------------------------------------------------------------------ */
+/* Sockets and the loopback device                                      */
+/* ------------------------------------------------------------------ */
+
+struct socket {
+    int in_use;
+    unsigned int protocol;
+    unsigned int local_port;
+    unsigned int remote_port;
+    int connected;
+    unsigned int rx_packets;
+    unsigned int tx_packets;
+    unsigned int backlog_len;
+    struct list_head rx_queue;
+    struct spinlock lock;
+};
+
+static struct socket socket_table[MAX_SOCKETS];
+static struct spinlock net_lock;
+static unsigned int loopback_packets;
+
+int sock_create(unsigned int protocol)
+{
+    int i;
+    unsigned long flags;
+    int fd = -ENOMEM;
+    flags = spin_lock_irqsave(&net_lock);
+    for (i = 0; i < MAX_SOCKETS; i = i + 1) {
+        if (socket_table[i].in_use == 0) {
+            socket_table[i].in_use = 1;
+            socket_table[i].protocol = protocol;
+            socket_table[i].local_port = 0;
+            socket_table[i].remote_port = 0;
+            socket_table[i].connected = 0;
+            socket_table[i].rx_packets = 0;
+            socket_table[i].tx_packets = 0;
+            socket_table[i].backlog_len = 0;
+            INIT_LIST_HEAD(&socket_table[i].rx_queue);
+            spin_lock_init(&socket_table[i].lock);
+            fd = i;
+            break;
+        }
+    }
+    spin_unlock_irqrestore(&net_lock, flags);
+    return fd;
+}
+
+int sock_bind(int sock, unsigned int port)
+{
+    if (sock < 0 || sock >= MAX_SOCKETS || socket_table[sock].in_use == 0) {
+        return -EBADF;
+    }
+    socket_table[sock].local_port = port;
+    return 0;
+}
+
+struct socket *find_socket_by_port(unsigned int port)
+{
+    int i;
+    for (i = 0; i < MAX_SOCKETS; i = i + 1) {
+        if (socket_table[i].in_use != 0 && socket_table[i].local_port == port) {
+            return &socket_table[i];
+        }
+    }
+    return 0;
+}
+
+/* The loopback "device": deliver a transmitted skb straight to the
+   destination socket's receive queue, as if a NIC interrupt had arrived. */
+int loopback_xmit(struct sk_buff *skb nonnull)
+{
+    struct socket *dst;
+    unsigned long flags;
+    dst = find_socket_by_port(skb->dst_port);
+    if (dst == 0) {
+        free_skb(skb);
+        return -ENOENT;
+    }
+    flags = spin_lock_irqsave(&dst->lock);
+    list_add_tail(&skb->link, &dst->rx_queue);
+    dst->backlog_len = dst->backlog_len + 1;
+    dst->rx_packets = dst->rx_packets + 1;
+    spin_unlock_irqrestore(&dst->lock, flags);
+    loopback_packets = loopback_packets + 1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* UDP-style datagrams                                                  */
+/* ------------------------------------------------------------------ */
+
+ssize_t udp_sendto(int sock, char * count(len) data, unsigned int len,
+                   unsigned int dst_port) blocking
+{
+    struct sk_buff *skb;
+    struct socket *me;
+    int err;
+    if (sock < 0 || sock >= MAX_SOCKETS || socket_table[sock].in_use == 0) {
+        return -EBADF;
+    }
+    me = &socket_table[sock];
+    skb = alloc_skb(len, GFP_KERNEL);
+    if (skb == 0) {
+        return -ENOMEM;
+    }
+    skb->protocol = PROTO_UDP;
+    skb->src_port = me->local_port;
+    skb->dst_port = dst_port;
+    err = skb_put_data(skb, data, len);
+    if (err != 0) {
+        free_skb(skb);
+        return (ssize_t)err;
+    }
+    me->tx_packets = me->tx_packets + 1;
+    err = loopback_xmit(skb);
+    if (err != 0) {
+        return (ssize_t)err;
+    }
+    return (ssize_t)len;
+}
+
+ssize_t udp_recv(int sock, char * count(len) out, unsigned int len) blocking
+{
+    struct socket *me;
+    struct sk_buff *skb;
+    struct list_head *entry;
+    unsigned long flags;
+    int copied;
+    if (sock < 0 || sock >= MAX_SOCKETS || socket_table[sock].in_use == 0) {
+        return -EBADF;
+    }
+    me = &socket_table[sock];
+    if (list_empty(&me->rx_queue)) {
+        __hw_might_sleep();
+        schedule();
+        if (list_empty(&me->rx_queue)) {
+            return -EAGAIN;
+        }
+    }
+    flags = spin_lock_irqsave(&me->lock);
+    entry = me->rx_queue.next;
+    list_del(entry);
+    me->backlog_len = me->backlog_len - 1;
+    spin_unlock_irqrestore(&me->lock, flags);
+    skb = (struct sk_buff * trusted)entry;
+    copied = skb_copy_out(skb, out, len);
+    if (skb->csum != checksum_bytes(skb->data, skb->len)) {
+        free_skb(skb);
+        return -EINVAL;
+    }
+    free_skb(skb);
+    return (ssize_t)copied;
+}
+
+/* ------------------------------------------------------------------ */
+/* TCP-style streams (connect / accept / send / recv)                   */
+/* ------------------------------------------------------------------ */
+
+int tcp_connect(int sock, unsigned int dst_port) blocking
+{
+    struct socket *me;
+    struct socket *peer;
+    if (sock < 0 || sock >= MAX_SOCKETS || socket_table[sock].in_use == 0) {
+        return -EBADF;
+    }
+    me = &socket_table[sock];
+    peer = find_socket_by_port(dst_port);
+    if (peer == 0) {
+        return -ENOENT;
+    }
+    /* Three-way handshake, loopback style: SYN, SYN-ACK, ACK. */
+    me->remote_port = dst_port;
+    peer->remote_port = me->local_port;
+    __hw_might_sleep();
+    schedule();
+    me->connected = 1;
+    peer->connected = 1;
+    return 0;
+}
+
+ssize_t tcp_send(int sock, char * count(len) data, unsigned int len) blocking
+{
+    struct socket *me;
+    if (sock < 0 || sock >= MAX_SOCKETS || socket_table[sock].in_use == 0) {
+        return -EBADF;
+    }
+    me = &socket_table[sock];
+    if (me->connected == 0) {
+        return -EINVAL;
+    }
+    return udp_sendto(sock, data, len, me->remote_port);
+}
+
+ssize_t tcp_recv(int sock, char * count(len) out, unsigned int len) blocking
+{
+    return udp_recv(sock, out, len);
+}
+
+int sock_close(int sock)
+{
+    struct socket *me;
+    struct list_head *entry;
+    struct sk_buff *skb;
+    if (sock < 0 || sock >= MAX_SOCKETS || socket_table[sock].in_use == 0) {
+        return -EBADF;
+    }
+    me = &socket_table[sock];
+    __ccount_delay_begin();
+    while (list_empty(&me->rx_queue) == 0) {
+        entry = me->rx_queue.next;
+        list_del(entry);
+        skb = (struct sk_buff * trusted)entry;
+        free_skb(skb);
+    }
+    __ccount_delay_end();
+    me->in_use = 0;
+    me->connected = 0;
+    me->backlog_len = 0;
+    return 0;
+}
+
+unsigned int net_loopback_packets(void)
+{
+    return loopback_packets;
+}
+
+unsigned int net_skbs_in_flight(void)
+{
+    return skbs_allocated - skbs_freed;
+}
+
+void net_init(void)
+{
+    int i;
+    spin_lock_init(&net_lock);
+    loopback_packets = 0;
+    skbs_allocated = 0;
+    skbs_freed = 0;
+    for (i = 0; i < MAX_SOCKETS; i = i + 1) {
+        socket_table[i].in_use = 0;
+    }
+}
+"""

@@ -1,0 +1,340 @@
+"""Mini-kernel corpus: processes and the scheduler (kernel/sched.c, kernel/fork.c).
+
+Tasks are real heap objects linked on a run queue; ``do_fork`` allocates and
+copies a task (the workload behind the paper's fork overhead number), and
+``schedule`` is the canonical blocking primitive everything else reaches.
+The model is cooperative — a "context switch" updates the current pointer and
+charges the hardware cost — which preserves every allocation and pointer-write
+path the analyses instrument without needing preemptive threading.
+"""
+
+FILENAME = "kernel/sched.c"
+
+SOURCE = r"""
+#define TASK_RUNNING 0
+#define TASK_INTERRUPTIBLE 1
+#define TASK_ZOMBIE 2
+#define MAX_OPEN_FILES 8
+#define MM_AREA_SLOTS 4
+
+/* ------------------------------------------------------------------ */
+/* Task and address-space structures                                    */
+/* ------------------------------------------------------------------ */
+
+struct vm_area {
+    unsigned long start;
+    unsigned long end;
+    unsigned int prot;
+    struct vm_area *next;
+};
+
+struct mm_struct {
+    unsigned int users;
+    unsigned int total_pages;
+    struct vm_area *mmap;
+    unsigned long start_brk;
+    unsigned long brk;
+};
+
+struct task_struct {
+    /* run_list is deliberately the first member so that the run queue's
+       list_head can be converted back to the task with a single (trusted)
+       cast -- the corpus's stand-in for container_of(). */
+    struct list_head run_list;
+    pid_t pid;
+    int state;
+    int exit_code;
+    unsigned int flags;
+    struct mm_struct *mm;
+    struct task_struct *parent;
+    struct list_head children;
+    struct list_head sibling;
+    void *files[MAX_OPEN_FILES];
+    char comm[16];
+    unsigned long utime;
+};
+
+static struct task_struct *current_task;
+static struct task_struct init_task;
+static struct list_head run_queue;
+static struct spinlock runqueue_lock;
+static pid_t next_pid;
+static unsigned int context_switches;
+static unsigned int total_forks;
+
+struct task_struct *get_current(void)
+{
+    return current_task;
+}
+
+pid_t current_pid(void)
+{
+    if (current_task == 0) {
+        return 0;
+    }
+    return current_task->pid;
+}
+
+/* ------------------------------------------------------------------ */
+/* The scheduler                                                        */
+/* ------------------------------------------------------------------ */
+
+void schedule(void) blocking
+{
+    struct task_struct *next;
+    struct list_head *entry;
+    unsigned long flags;
+    __hw_might_sleep();
+    flags = spin_lock_irqsave(&runqueue_lock);
+    if (list_empty(&run_queue)) {
+        spin_unlock_irqrestore(&runqueue_lock, flags);
+        return;
+    }
+    entry = run_queue.next;
+    list_del(entry);
+    list_add_tail(entry, &run_queue);
+    /* container_of(entry, struct task_struct, run_list): run_list is the
+       first member, so the conversion is a (trusted) pointer cast. */
+    next = (struct task_struct * trusted)entry;
+    spin_unlock_irqrestore(&runqueue_lock, flags);
+    if (next != current_task && next != 0) {
+        context_switches = context_switches + 1;
+        current_task = next;
+        __hw_context_switch();
+    }
+}
+
+void wake_up_process(struct task_struct *task nonnull)
+{
+    unsigned long flags;
+    flags = spin_lock_irqsave(&runqueue_lock);
+    if (task->state != TASK_RUNNING) {
+        task->state = TASK_RUNNING;
+        list_add_tail(&task->run_list, &run_queue);
+    }
+    spin_unlock_irqrestore(&runqueue_lock, flags);
+}
+
+void wait_for_completion(struct completion *done nonnull) blocking
+{
+    int spins = 0;
+    __hw_might_sleep();
+    while (done->done == 0 && spins < 4) {
+        schedule();
+        spins = spins + 1;
+    }
+    if (done->done > 0) {
+        done->done = done->done - 1;
+    }
+}
+
+void complete(struct completion *done nonnull)
+{
+    done->done = done->done + 1;
+    done->wait.wake_count = done->wait.wake_count + 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Address-space copying (kernel/fork.c)                                */
+/* ------------------------------------------------------------------ */
+
+struct mm_struct *mm_alloc(void)
+{
+    struct mm_struct *mm;
+    mm = (struct mm_struct *)kmalloc(sizeof(struct mm_struct), GFP_KERNEL);
+    if (mm == 0) {
+        return 0;
+    }
+    __ccount_rtti((void *)mm, "struct mm_struct");
+    mm->users = 1;
+    mm->total_pages = 0;
+    mm->mmap = 0;
+    mm->start_brk = 0;
+    mm->brk = 0;
+    return mm;
+}
+
+int mm_add_area(struct mm_struct *mm nonnull, unsigned long start,
+                unsigned long end, unsigned int prot)
+{
+    struct vm_area *area;
+    area = (struct vm_area *)kmalloc(sizeof(struct vm_area), GFP_KERNEL);
+    if (area == 0) {
+        return -ENOMEM;
+    }
+    __ccount_rtti((void *)area, "struct vm_area");
+    area->start = start;
+    area->end = end;
+    area->prot = prot;
+    area->next = mm->mmap;
+    mm->mmap = area;
+    mm->total_pages = mm->total_pages + (unsigned int)((end - start) / PAGE_SIZE);
+    return 0;
+}
+
+struct mm_struct *mm_copy(struct mm_struct *old nonnull)
+{
+    struct mm_struct *mm;
+    struct vm_area *area;
+    struct vm_area *copy;
+    mm = mm_alloc();
+    if (mm == 0) {
+        return 0;
+    }
+    for (area = old->mmap; area != 0; area = area->next) {
+        copy = (struct vm_area *)kmalloc(sizeof(struct vm_area), GFP_KERNEL);
+        if (copy == 0) {
+            return mm;
+        }
+        __ccount_rtti((void *)copy, "struct vm_area");
+        __ccount_memcpy((void *)copy, (void *)area, sizeof(struct vm_area), 0);
+        copy->next = mm->mmap;
+        mm->mmap = copy;
+        mm->total_pages = mm->total_pages + (unsigned int)((area->end - area->start) / PAGE_SIZE);
+    }
+    return mm;
+}
+
+void mm_release(struct mm_struct *mm)
+{
+    struct vm_area *area;
+    struct vm_area *next;
+    if (mm == 0) {
+        return;
+    }
+    mm->users = mm->users - 1;
+    if (mm->users > 0) {
+        return;
+    }
+    __ccount_delay_begin();
+    area = mm->mmap;
+    while (area != 0) {
+        next = area->next;
+        area->next = 0;
+        kfree((void *)area);
+        area = next;
+    }
+    mm->mmap = 0;
+    kfree((void *)mm);
+    __ccount_delay_end();
+}
+
+/* ------------------------------------------------------------------ */
+/* fork / exit                                                          */
+/* ------------------------------------------------------------------ */
+
+struct task_struct *do_fork(unsigned int flags) blocking
+{
+    struct task_struct *child;
+    struct task_struct *parent = current_task;
+    int i;
+    child = (struct task_struct *)kmalloc(sizeof(struct task_struct), GFP_KERNEL);
+    if (child == 0) {
+        return 0;
+    }
+    __ccount_rtti((void *)child, "struct task_struct");
+    next_pid = next_pid + 1;
+    child->pid = next_pid;
+    child->state = TASK_RUNNING;
+    child->exit_code = 0;
+    child->flags = flags;
+    child->parent = parent;
+    child->utime = 0;
+    INIT_LIST_HEAD(&child->run_list);
+    INIT_LIST_HEAD(&child->children);
+    INIT_LIST_HEAD(&child->sibling);
+    for (i = 0; i < MAX_OPEN_FILES; i = i + 1) {
+        child->files[i] = 0;
+    }
+    for (i = 0; i < 16; i = i + 1) {
+        child->comm[i] = 0;
+    }
+    if (parent != 0) {
+        copy_bytes(child->comm, parent->comm, 16);
+        if (parent->mm != 0) {
+            child->mm = mm_copy(parent->mm);
+        } else {
+            child->mm = mm_alloc();
+        }
+        list_add_tail(&child->sibling, &parent->children);
+    } else {
+        child->mm = mm_alloc();
+    }
+    wake_up_process(child);
+    total_forks = total_forks + 1;
+    return child;
+}
+
+void release_task(struct task_struct *task nonnull)
+{
+    unsigned long flags;
+    flags = spin_lock_irqsave(&runqueue_lock);
+    if (task->run_list.next != 0) {
+        list_del(&task->run_list);
+    }
+    if (task->sibling.next != 0) {
+        list_del(&task->sibling);
+    }
+    spin_unlock_irqrestore(&runqueue_lock, flags);
+    task->parent = 0;
+    {
+        /* CCount fix: the task's own reference must drop before the free. */
+        struct mm_struct *old_mm = task->mm;
+        task->mm = 0;
+        mm_release(old_mm);
+    }
+    kfree((void *)task);
+}
+
+int do_exit(struct task_struct *task nonnull, int code)
+{
+    task->state = TASK_ZOMBIE;
+    task->exit_code = code;
+    release_task(task);
+    return 0;
+}
+
+unsigned int fork_count(void)
+{
+    return total_forks;
+}
+
+unsigned int context_switch_count(void)
+{
+    return context_switches;
+}
+
+/* ------------------------------------------------------------------ */
+/* Boot-time initialisation                                             */
+/* ------------------------------------------------------------------ */
+
+void sched_init(void)
+{
+    int i;
+    INIT_LIST_HEAD(&run_queue);
+    spin_lock_init(&runqueue_lock);
+    next_pid = 1;
+    context_switches = 0;
+    total_forks = 0;
+    init_task.pid = 1;
+    init_task.state = TASK_RUNNING;
+    init_task.exit_code = 0;
+    init_task.flags = 0;
+    init_task.mm = 0;
+    init_task.parent = 0;
+    init_task.utime = 0;
+    INIT_LIST_HEAD(&init_task.run_list);
+    INIT_LIST_HEAD(&init_task.children);
+    INIT_LIST_HEAD(&init_task.sibling);
+    for (i = 0; i < MAX_OPEN_FILES; i = i + 1) {
+        init_task.files[i] = 0;
+    }
+    init_task.comm[0] = 'i';
+    init_task.comm[1] = 'n';
+    init_task.comm[2] = 'i';
+    init_task.comm[3] = 't';
+    init_task.comm[4] = 0;
+    current_task = &init_task;
+    list_add_tail(&init_task.run_list, &run_queue);
+}
+"""

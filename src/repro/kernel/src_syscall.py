@@ -1,0 +1,123 @@
+"""Mini-kernel corpus: the system call layer (arch/i386/kernel/entry.S analogue).
+
+System calls are dispatched through a function-pointer table, charging the
+fixed trap cost on entry — the path measured by ``lat_syscall`` and the entry
+point every hbench workload goes through.
+"""
+
+FILENAME = "kernel/syscall.c"
+
+SOURCE = r"""
+#define NR_SYSCALLS 16
+
+#define SYS_GETPID 0
+#define SYS_OPEN 1
+#define SYS_READ 2
+#define SYS_WRITE 3
+#define SYS_CLOSE 4
+#define SYS_FORK 5
+#define SYS_EXIT 6
+#define SYS_PIPE_WRITE 7
+#define SYS_PIPE_READ 8
+#define SYS_SEEK 9
+#define SYS_NULL 10
+
+typedef long (*syscall_fn_t)(long a, long b, long c);
+
+static syscall_fn_t syscall_table[NR_SYSCALLS];
+static unsigned int syscall_count;
+
+/* ------------------------------------------------------------------ */
+/* Individual system call implementations                              */
+/* ------------------------------------------------------------------ */
+
+long sys_getpid(long a, long b, long c)
+{
+    return (long)current_pid();
+}
+
+long sys_null(long a, long b, long c)
+{
+    /* The "do nothing" syscall lat_syscall measures. */
+    return 0;
+}
+
+long sys_read(long fd, long buf, long count)
+{
+    return (long)vfs_read((int)fd, (char * trusted)buf, (unsigned int)count);
+}
+
+long sys_write(long fd, long buf, long count)
+{
+    return (long)vfs_write((int)fd, (char * trusted)buf, (unsigned int)count);
+}
+
+long sys_close(long fd, long b, long c)
+{
+    return (long)vfs_close((int)fd);
+}
+
+long sys_seek(long fd, long pos, long c)
+{
+    return (long)vfs_seek((int)fd, (unsigned int)pos);
+}
+
+long sys_fork(long a, long b, long c) blocking
+{
+    struct task_struct *child = do_fork(0);
+    if (child == 0) {
+        return -ENOMEM;
+    }
+    return (long)child->pid;
+}
+
+long sys_exit(long code, long b, long c)
+{
+    struct task_struct *task = get_current();
+    if (task != 0 && task->pid != 1) {
+        do_exit(task, (int)code);
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Dispatch                                                            */
+/* ------------------------------------------------------------------ */
+
+long do_syscall(int nr, long a, long b, long c)
+{
+    syscall_fn_t handler;
+    __hw_syscall_overhead();
+    if (nr < 0 || nr >= NR_SYSCALLS) {
+        return -EINVAL;
+    }
+    handler = syscall_table[nr];
+    if (handler == 0) {
+        return -EINVAL;
+    }
+    syscall_count = syscall_count + 1;
+    return handler(a, b, c);
+}
+
+unsigned int syscalls_executed(void)
+{
+    return syscall_count;
+}
+
+void syscall_init(void)
+{
+    int i;
+    for (i = 0; i < NR_SYSCALLS; i = i + 1) {
+        syscall_table[i] = 0;
+    }
+    syscall_table[SYS_GETPID] = sys_getpid;
+    syscall_table[SYS_READ] = sys_read;
+    syscall_table[SYS_WRITE] = sys_write;
+    syscall_table[SYS_CLOSE] = sys_close;
+    syscall_table[SYS_SEEK] = sys_seek;
+    syscall_table[SYS_FORK] = sys_fork;
+    syscall_table[SYS_EXIT] = sys_exit;
+    syscall_table[SYS_NULL] = sys_null;
+    syscall_count = 0;
+}
+"""

@@ -1,0 +1,204 @@
+"""User-level benchmark bodies (the hbench workloads' user half).
+
+hbench's benchmarks are user programs: a timing loop in userspace around
+either pure memory operations (``bw_mem_*``, ``bw_bzero``) or system calls
+(``lat_syscall``, ``lat_pipe``, ``bw_file_rd``, …).  Only the kernel is
+deputized in the paper, so these translation units are linked into the image
+*after* instrumentation — they run unchecked, exactly like real user binaries
+on top of a deputized kernel.
+"""
+
+FILENAME = "user/hbench_user.c"
+
+SOURCE = r"""
+#define USER_BUF_SIZE 4096
+#define USER_SMALL_BUF 256
+
+static char user_src_buffer[USER_BUF_SIZE];
+static char user_dst_buffer[USER_BUF_SIZE];
+static char user_io_buffer[USER_SMALL_BUF];
+static unsigned int user_checksum;
+
+/* ------------------------------------------------------------------ */
+/* Pure memory benchmarks (no kernel involvement)                       */
+/* ------------------------------------------------------------------ */
+
+unsigned int user_bw_bzero(unsigned int iterations)
+{
+    unsigned int i;
+    for (i = 0; i < iterations; i = i + 1) {
+        memset(user_dst_buffer, 0, USER_BUF_SIZE);
+    }
+    return iterations * USER_BUF_SIZE;
+}
+
+unsigned int user_bw_mem_cp(unsigned int iterations)
+{
+    unsigned int i;
+    for (i = 0; i < iterations; i = i + 1) {
+        memcpy(user_dst_buffer, user_src_buffer, USER_BUF_SIZE);
+    }
+    return iterations * USER_BUF_SIZE;
+}
+
+unsigned int user_bw_mem_rd(unsigned int iterations)
+{
+    unsigned int i;
+    unsigned int j;
+    unsigned int sum = 0;
+    for (i = 0; i < iterations; i = i + 1) {
+        for (j = 0; j < USER_BUF_SIZE; j = j + 16) {
+            sum = sum + (unsigned int)user_src_buffer[j];
+        }
+    }
+    user_checksum = sum;
+    return iterations * USER_BUF_SIZE;
+}
+
+unsigned int user_bw_mem_wr(unsigned int iterations)
+{
+    unsigned int i;
+    unsigned int j;
+    for (i = 0; i < iterations; i = i + 1) {
+        for (j = 0; j < USER_BUF_SIZE; j = j + 16) {
+            user_dst_buffer[j] = (char)j;
+        }
+    }
+    return iterations * USER_BUF_SIZE;
+}
+
+/* ------------------------------------------------------------------ */
+/* Kernel-mediated benchmarks (loops around system calls)               */
+/* ------------------------------------------------------------------ */
+
+long user_lat_syscall(unsigned int iterations)
+{
+    unsigned int i;
+    long rc = 0;
+    for (i = 0; i < iterations; i = i + 1) {
+        rc = rc + do_syscall(SYS_NULL, 0, 0, 0);
+    }
+    return rc;
+}
+
+long user_lat_getpid(unsigned int iterations)
+{
+    unsigned int i;
+    long rc = 0;
+    for (i = 0; i < iterations; i = i + 1) {
+        rc = do_syscall(SYS_GETPID, 0, 0, 0);
+    }
+    return rc;
+}
+
+long user_file_write_read(int fd, unsigned int chunk, unsigned int iterations)
+{
+    unsigned int i;
+    long total = 0;
+    if (chunk > USER_SMALL_BUF) {
+        chunk = USER_SMALL_BUF;
+    }
+    for (i = 0; i < iterations; i = i + 1) {
+        do_syscall(SYS_SEEK, (long)fd, 0, 0);
+        total = total + do_syscall(SYS_WRITE, (long)fd, (long)user_io_buffer, (long)chunk);
+        do_syscall(SYS_SEEK, (long)fd, 0, 0);
+        total = total + do_syscall(SYS_READ, (long)fd, (long)user_io_buffer, (long)chunk);
+    }
+    return total;
+}
+
+long user_fork_exit(unsigned int iterations)
+{
+    unsigned int i;
+    long pid = 0;
+    for (i = 0; i < iterations; i = i + 1) {
+        pid = do_syscall(SYS_FORK, 0, 0, 0);
+        if (pid > 0) {
+            do_syscall(SYS_EXIT, 0, 0, 0);
+        }
+    }
+    return pid;
+}
+
+long user_pipe_pingpong(struct pipe_inode *pipe, unsigned int chunk,
+                        unsigned int iterations)
+{
+    unsigned int i;
+    long total = 0;
+    if (chunk > USER_SMALL_BUF) {
+        chunk = USER_SMALL_BUF;
+    }
+    for (i = 0; i < iterations; i = i + 1) {
+        total = total + pipe_write(pipe, user_io_buffer, chunk);
+        total = total + pipe_read(pipe, user_io_buffer, chunk);
+    }
+    return total;
+}
+
+long user_udp_pingpong(int sock_a, int sock_b, unsigned int port_b,
+                       unsigned int port_a, unsigned int chunk,
+                       unsigned int iterations)
+{
+    unsigned int i;
+    long total = 0;
+    if (chunk > USER_SMALL_BUF) {
+        chunk = USER_SMALL_BUF;
+    }
+    for (i = 0; i < iterations; i = i + 1) {
+        total = total + udp_sendto(sock_a, user_io_buffer, chunk, port_b);
+        total = total + udp_recv(sock_b, user_io_buffer, chunk);
+        total = total + udp_sendto(sock_b, user_io_buffer, chunk, port_a);
+        total = total + udp_recv(sock_a, user_io_buffer, chunk);
+    }
+    return total;
+}
+
+long user_tcp_stream(int sock_a, int sock_b, unsigned int chunk,
+                     unsigned int iterations)
+{
+    unsigned int i;
+    long total = 0;
+    if (chunk > USER_SMALL_BUF) {
+        chunk = USER_SMALL_BUF;
+    }
+    for (i = 0; i < iterations; i = i + 1) {
+        total = total + tcp_send(sock_a, user_io_buffer, chunk);
+        total = total + tcp_recv(sock_b, user_io_buffer, chunk);
+    }
+    return total;
+}
+
+unsigned int user_signal_roundtrip(unsigned int iterations)
+{
+    unsigned int i;
+    unsigned int delivered = 0;
+    struct task_struct *me = get_current();
+    for (i = 0; i < iterations; i = i + 1) {
+        send_signal(me, 10);
+        delivered = delivered + (unsigned int)deliver_pending_signals();
+    }
+    return delivered;
+}
+
+long user_context_switch(unsigned int iterations)
+{
+    unsigned int i;
+    for (i = 0; i < iterations; i = i + 1) {
+        schedule();
+    }
+    return (long)context_switch_count();
+}
+
+void user_bench_init(void)
+{
+    unsigned int i;
+    for (i = 0; i < USER_BUF_SIZE; i = i + 1) {
+        user_src_buffer[i] = (char)(i & 0xff);
+        user_dst_buffer[i] = 0;
+    }
+    for (i = 0; i < USER_SMALL_BUF; i = i + 1) {
+        user_io_buffer[i] = (char)(i & 0x7f);
+    }
+    user_checksum = 0;
+}
+"""

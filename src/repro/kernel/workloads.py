@@ -1,0 +1,204 @@
+"""Scripted workloads that drive the booted kernel.
+
+These are the reproduction's stand-ins for the system-level activity the
+paper measures with CCount: booting to the login prompt, light interactive
+use (idling plus copying a kernel image in over the network), repeated fork,
+and repeated module loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .boot import KernelInstance
+
+#: Port numbers used by the networking workloads.
+PORT_A = 1000
+PORT_B = 2000
+#: Syscall numbers (mirror kernel/syscall.c).
+SYS_FORK = 5
+SYS_EXIT = 6
+
+
+@dataclass
+class WorkloadResult:
+    """What a workload did and what it cost."""
+
+    name: str
+    cycles: int = 0
+    operations: int = 0
+    details: dict[str, int] = field(default_factory=dict)
+
+    def per_operation(self) -> float:
+        return self.cycles / self.operations if self.operations else float(self.cycles)
+
+
+def _measured(kernel: KernelInstance, name: str):
+    class _Ctx:
+        def __enter__(self):
+            self.before = kernel.interp.counter.cycles
+            return self
+
+        def __exit__(self, *exc):
+            self.cycles = kernel.interp.counter.cycles - self.before
+            return False
+
+    return _Ctx()
+
+
+# ---------------------------------------------------------------------------
+# Boot-to-login and light use (CCount's §2.2 free-verification workloads)
+# ---------------------------------------------------------------------------
+
+def workload_boot_to_login(kernel: KernelInstance,
+                           processes: int = 6,
+                           files: int = 4,
+                           packets: int = 8) -> WorkloadResult:
+    """Everything from boot until a login prompt could appear.
+
+    Spawns early userspace (a few forks), opens and populates files, brings
+    up networking, loads a module, and handles a burst of timer interrupts —
+    the allocation/free profile of the paper's boot measurement, scaled down.
+    """
+    interp = kernel.interp
+    result = WorkloadResult(name="boot_to_login")
+    with _measured(kernel, "boot") as measure:
+        if not kernel.booted:
+            kernel.boot()
+        # Early userspace: init forks a few daemons, some exit immediately.
+        for index in range(processes):
+            pid = interp.run("do_syscall", SYS_FORK, 0, 0, 0).value
+            result.operations += 1
+            if index % 2 == 1 and pid > 0:
+                interp.run("do_syscall", SYS_EXIT, 0, 0, 0)
+        # Mount-time file activity.
+        for index in range(files):
+            name = kernel.interp.intern_string(f"boot_file_{index}")
+            kernel.interp.run("vfs_create", name, 1)
+            fd = interp.run("vfs_open", name).value
+            if fd >= 0:
+                data = kernel.interp.intern_string("startup configuration data")
+                interp.run("vfs_write", fd, data, 27)
+                interp.run("vfs_seek", fd, 0)
+                interp.run("vfs_read", fd, data, 16)
+                interp.run("vfs_close", fd)
+            result.operations += 4
+        # Bring up networking and exchange a few datagrams.
+        sock_a = interp.run("sock_create", 17).value
+        sock_b = interp.run("sock_create", 17).value
+        interp.run("sock_bind", sock_a, PORT_A)
+        interp.run("sock_bind", sock_b, PORT_B)
+        payload = kernel.interp.intern_string("boot-time probe packet")
+        for _ in range(packets):
+            interp.run("udp_sendto", sock_a, payload, 22, PORT_B)
+            interp.run("udp_recv", sock_b, payload, 22)
+            result.operations += 2
+        # Load and unload one module (a driver brought up at boot).
+        module_payload = kernel.interp.intern_string("module payload " * 4)
+        name = kernel.interp.intern_string("e1000")
+        module = interp.run("load_module", name, module_payload, 60).value
+        if module:
+            interp.run("unload_module", module)
+        result.operations += 2
+        # A burst of timer ticks while all this happens.
+        for _ in range(10):
+            kernel.trigger_interrupt(0)
+            result.operations += 1
+        interp.run("sock_close", sock_a)
+        interp.run("sock_close", sock_b)
+    result.cycles = measure.cycles
+    result.details["forks"] = int(interp.run("fork_count").value)
+    result.details["vfs_reads"] = int(interp.run("vfs_read_count").value)
+    result.details["loopback_packets"] = int(interp.run("net_loopback_packets").value)
+    return result
+
+
+def workload_light_use(kernel: KernelInstance,
+                       idle_ticks: int = 20,
+                       transfer_chunks: int = 24) -> WorkloadResult:
+    """Idle for a while, then copy a new kernel image in over the network.
+
+    The paper's "light use" measurement (leaving the system idle and scp-ing
+    a kernel in) drops the good-free percentage slightly below 100%; this is
+    its scaled-down analogue: timer ticks while idle, then a TCP transfer
+    whose payload is written to a file.
+    """
+    interp = kernel.interp
+    result = WorkloadResult(name="light_use")
+    with _measured(kernel, "light_use") as measure:
+        for _ in range(idle_ticks):
+            kernel.trigger_interrupt(0)
+            interp.run("schedule")
+            result.operations += 1
+        sock_a = interp.run("sock_create", 6).value
+        sock_b = interp.run("sock_create", 6).value
+        interp.run("sock_bind", sock_a, PORT_A + 1)
+        interp.run("sock_bind", sock_b, PORT_B + 1)
+        interp.run("tcp_connect", sock_a, PORT_B + 1)
+        image_name = kernel.interp.intern_string("vmlinuz-new")
+        interp.run("vfs_create", image_name, 1)
+        fd = interp.run("vfs_open", image_name).value
+        chunk = kernel.interp.intern_string("kernel image chunk data payload!" * 2)
+        for _ in range(transfer_chunks):
+            interp.run("tcp_send", sock_a, chunk, 64)
+            got = interp.run("tcp_recv", sock_b, chunk, 64).value
+            if fd >= 0 and got > 0:
+                interp.run("vfs_seek", fd, 0)
+                interp.run("vfs_write", fd, chunk, got)
+            result.operations += 3
+        if fd >= 0:
+            interp.run("vfs_close", fd)
+        interp.run("sock_close", sock_a)
+        interp.run("sock_close", sock_b)
+        # A couple of interactive commands fork and exit.
+        for _ in range(3):
+            interp.run("do_syscall", SYS_FORK, 0, 0, 0)
+            interp.run("do_syscall", SYS_EXIT, 0, 0, 0)
+            result.operations += 2
+    result.cycles = measure.cycles
+    result.details["skbs_in_flight"] = int(interp.run("net_skbs_in_flight").value)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The overhead workloads (fork, module loading) from §2.2
+# ---------------------------------------------------------------------------
+
+def workload_fork(kernel: KernelInstance, iterations: int = 12) -> WorkloadResult:
+    """Repeated fork+exit through the syscall layer."""
+    interp = kernel.interp
+    result = WorkloadResult(name="fork", operations=iterations)
+    with _measured(kernel, "fork") as measure:
+        interp.run("user_fork_exit", iterations)
+    result.cycles = measure.cycles
+    result.details["forks"] = int(interp.run("fork_count").value)
+    return result
+
+
+def workload_module_load(kernel: KernelInstance, iterations: int = 8,
+                         payload_size: int = 256) -> WorkloadResult:
+    """Repeated module load/unload."""
+    interp = kernel.interp
+    result = WorkloadResult(name="module_load", operations=iterations)
+    payload = kernel.interp.intern_string("x" * payload_size)
+    name = kernel.interp.intern_string("testmod")
+    with _measured(kernel, "module_load") as measure:
+        for _ in range(iterations):
+            module = interp.run("load_module", name, payload, payload_size).value
+            if module:
+                interp.run("unload_module", module)
+    result.cycles = measure.cycles
+    result.details["modules_left"] = int(interp.run("module_count").value)
+    return result
+
+
+def workload_deferred_work(kernel: KernelInstance, rounds: int = 2) -> WorkloadResult:
+    """Run the deferred-work handlers (process context; legal blocking)."""
+    interp = kernel.interp
+    result = WorkloadResult(name="deferred_work", operations=rounds)
+    with _measured(kernel, "deferred_work") as measure:
+        for value in range(rounds):
+            interp.run("run_deferred_work", value)
+            interp.run("notify_listeners_atomic", value)
+    result.cycles = measure.cycles
+    return result

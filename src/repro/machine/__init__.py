@@ -1,0 +1,27 @@
+"""The abstract machine: memory model, cost model, builtins, interpreter."""
+
+from .builtins import Builtin, BuiltinRegistry, register_core_builtins
+from .cycles import CostModel, CycleCounter, DEFAULT_COST_MODEL, SMP_COST_MODEL
+from .errors import (
+    CheckFailure,
+    MachineError,
+    MemoryFault,
+    PanicError,
+    StepLimitExceeded,
+    UndefinedSymbol,
+)
+from .interpreter import Frame, HardwareState, Interpreter, ctype_size
+from .memory import BLOCK_ALIGN, Block, Memory, chunk_index, chunk_range
+from .program import Program, link_units
+from .values import TypedValue, VOID_VALUE, convert, int_value, pointer_value
+
+__all__ = [
+    "Builtin", "BuiltinRegistry", "register_core_builtins",
+    "CostModel", "CycleCounter", "DEFAULT_COST_MODEL", "SMP_COST_MODEL",
+    "CheckFailure", "MachineError", "MemoryFault", "PanicError",
+    "StepLimitExceeded", "UndefinedSymbol",
+    "Frame", "HardwareState", "Interpreter", "ctype_size",
+    "BLOCK_ALIGN", "Block", "Memory", "chunk_index", "chunk_range",
+    "Program", "link_units",
+    "TypedValue", "VOID_VALUE", "convert", "int_value", "pointer_value",
+]

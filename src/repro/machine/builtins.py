@@ -1,0 +1,357 @@
+"""Machine-level builtin functions.
+
+These are the primitives the mini-kernel corpus is written against: raw
+memory allocation, bulk memory operations, console output, the interrupt
+flag, and a handful of diagnostics.  The soundness-tool runtimes
+(:mod:`repro.deputy.runtime`, :mod:`repro.ccount.runtime`,
+:mod:`repro.blockstop.runtime_checks`) register *additional* builtins on top
+of these when they are installed on an interpreter.
+
+A builtin is a Python callable ``fn(interp, args, location) -> TypedValue``
+registered under a C-visible name.  Charging cycles is the builtin's own
+responsibility so that bulk operations can charge per word moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from ..minic.ctypes import CHAR, INT, UINT, VOID, pointer_to
+from ..minic.errors import SourceLocation
+from .errors import MachineError, PanicError
+from .values import TypedValue, VOID_VALUE, int_value, pointer_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .interpreter import Interpreter
+
+BuiltinFn = Callable[["Interpreter", list[TypedValue], SourceLocation], TypedValue]
+
+
+@dataclass
+class Builtin:
+    """A registered builtin."""
+
+    name: str
+    fn: BuiltinFn
+    blocking: bool = False
+
+
+class BuiltinRegistry:
+    """Name → builtin mapping attached to each interpreter."""
+
+    def __init__(self) -> None:
+        self._builtins: dict[str, Builtin] = {}
+
+    def register(self, name: str, fn: BuiltinFn, blocking: bool = False) -> None:
+        self._builtins[name] = Builtin(name=name, fn=fn, blocking=blocking)
+
+    def get(self, name: str) -> Builtin | None:
+        return self._builtins.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._builtins
+
+    def names(self) -> list[str]:
+        return sorted(self._builtins)
+
+
+# ---------------------------------------------------------------------------
+# Core builtin implementations
+# ---------------------------------------------------------------------------
+
+def _bulk_cost(interp: "Interpreter", nbytes: int) -> None:
+    words = max(1, (nbytes + 3) // 4)
+    interp.counter.charge("bulk_per_word", times=words)
+
+
+def _builtin_raw_alloc(interp: "Interpreter", args, loc) -> TypedValue:
+    size = args[0].as_int()
+    interp.counter.charge("alloc")
+    block = interp.memory.alloc(size, kind="heap", alloc_site=str(loc))
+    return pointer_value(block.base, pointer_to(VOID))
+
+
+def _builtin_raw_free(interp: "Interpreter", args, loc) -> TypedValue:
+    addr = args[0].as_int()
+    interp.counter.charge("free")
+    if addr == 0:
+        return VOID_VALUE
+    interp.memory.free_addr(addr)
+    return VOID_VALUE
+
+
+def _builtin_raw_size(interp: "Interpreter", args, loc) -> TypedValue:
+    addr = args[0].as_int()
+    block = interp.memory.find_block(addr)
+    return int_value(block.size if block is not None else 0, UINT)
+
+
+def _builtin_memset(interp: "Interpreter", args, loc) -> TypedValue:
+    dst, value, size = args[0].as_int(), args[1].as_int(), args[2].as_int()
+    _bulk_cost(interp, size)
+    interp.memory.memset(dst, value, size)
+    return pointer_value(dst, args[0].ctype)
+
+
+def _builtin_memcpy(interp: "Interpreter", args, loc) -> TypedValue:
+    dst, src, size = args[0].as_int(), args[1].as_int(), args[2].as_int()
+    _bulk_cost(interp, size)
+    interp.memory.memcpy(dst, src, size)
+    return pointer_value(dst, args[0].ctype)
+
+
+def _builtin_memcmp(interp: "Interpreter", args, loc) -> TypedValue:
+    a, b, size = args[0].as_int(), args[1].as_int(), args[2].as_int()
+    _bulk_cost(interp, size)
+    if size <= 0:
+        return int_value(0)
+    left = interp.memory.load_bytes(a, size)
+    right = interp.memory.load_bytes(b, size)
+    if left == right:
+        return int_value(0)
+    return int_value(-1 if left < right else 1)
+
+
+def _builtin_strlen(interp: "Interpreter", args, loc) -> TypedValue:
+    addr = args[0].as_int()
+    text = interp.memory.load_cstring(addr)
+    _bulk_cost(interp, len(text) + 1)
+    return int_value(len(text), UINT)
+
+
+def _builtin_strcpy(interp: "Interpreter", args, loc) -> TypedValue:
+    dst, src = args[0].as_int(), args[1].as_int()
+    text = interp.memory.load_cstring(src)
+    _bulk_cost(interp, len(text) + 1)
+    interp.memory.store_bytes(dst, text.encode("latin-1") + b"\0")
+    return pointer_value(dst, args[0].ctype)
+
+
+def _builtin_strncpy(interp: "Interpreter", args, loc) -> TypedValue:
+    dst, src, limit = args[0].as_int(), args[1].as_int(), args[2].as_int()
+    text = interp.memory.load_cstring(src)[:max(limit, 0)]
+    padded = text.encode("latin-1").ljust(max(limit, 0), b"\0")
+    _bulk_cost(interp, max(limit, 1))
+    interp.memory.store_bytes(dst, padded)
+    return pointer_value(dst, args[0].ctype)
+
+
+def _builtin_strcmp(interp: "Interpreter", args, loc) -> TypedValue:
+    a = interp.memory.load_cstring(args[0].as_int())
+    b = interp.memory.load_cstring(args[1].as_int())
+    _bulk_cost(interp, min(len(a), len(b)) + 1)
+    if a == b:
+        return int_value(0)
+    return int_value(-1 if a < b else 1)
+
+
+def _builtin_strncmp(interp: "Interpreter", args, loc) -> TypedValue:
+    limit = args[2].as_int()
+    a = interp.memory.load_cstring(args[0].as_int())[:limit]
+    b = interp.memory.load_cstring(args[1].as_int())[:limit]
+    _bulk_cost(interp, max(1, min(len(a), len(b))))
+    if a == b:
+        return int_value(0)
+    return int_value(-1 if a < b else 1)
+
+
+def _format_printk(interp: "Interpreter", fmt: str, args: list[TypedValue]) -> str:
+    out: list[str] = []
+    arg_index = 0
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%" or i + 1 >= len(fmt):
+            out.append(ch)
+            i += 1
+            continue
+        # Skip width/flag characters between '%' and the conversion.
+        j = i + 1
+        while j < len(fmt) and fmt[j] in "0123456789lh-+. ":
+            j += 1
+        conv = fmt[j] if j < len(fmt) else "%"
+        if conv == "%":
+            out.append("%")
+            i = j + 1
+            continue
+        arg = args[arg_index] if arg_index < len(args) else None
+        arg_index += 1
+        if arg is None:
+            out.append("<missing>")
+        elif conv in "di":
+            out.append(str(arg.as_int()))
+        elif conv == "u":
+            out.append(str(arg.as_int() & 0xFFFFFFFF))
+        elif conv in "xX":
+            rendered = format(arg.as_int() & 0xFFFFFFFF, "x")
+            out.append(rendered.upper() if conv == "X" else rendered)
+        elif conv == "p":
+            out.append(f"0x{arg.as_int() & 0xFFFFFFFF:08x}")
+        elif conv == "c":
+            out.append(chr(arg.as_int() & 0xFF))
+        elif conv == "s":
+            addr = arg.as_int()
+            out.append(interp.memory.load_cstring(addr) if addr else "(null)")
+        else:
+            out.append(f"%{conv}")
+        i = j + 1
+    return "".join(out)
+
+
+def _builtin_printk(interp: "Interpreter", args, loc) -> TypedValue:
+    fmt = interp.memory.load_cstring(args[0].as_int())
+    text = _format_printk(interp, fmt, args[1:])
+    _bulk_cost(interp, len(text))
+    interp.console.append(text)
+    return int_value(len(text))
+
+
+def _builtin_panic(interp: "Interpreter", args, loc) -> TypedValue:
+    message = "kernel panic"
+    if args:
+        fmt = interp.memory.load_cstring(args[0].as_int())
+        message = _format_printk(interp, fmt, args[1:])
+    raise PanicError(f"kernel panic: {message}", loc)
+
+
+def _builtin_bug(interp: "Interpreter", args, loc) -> TypedValue:
+    raise PanicError("BUG() hit", loc)
+
+
+def _builtin_warn(interp: "Interpreter", args, loc) -> TypedValue:
+    message = ""
+    if args:
+        fmt = interp.memory.load_cstring(args[0].as_int())
+        message = _format_printk(interp, fmt, args[1:])
+    interp.warnings.append(message or "WARN() hit")
+    return VOID_VALUE
+
+
+# -- interrupt / hardware state ------------------------------------------------
+
+def _builtin_cli(interp: "Interpreter", args, loc) -> TypedValue:
+    interp.counter.charge("irq_toggle")
+    interp.hw.irqs_enabled = False
+    return VOID_VALUE
+
+
+def _builtin_sti(interp: "Interpreter", args, loc) -> TypedValue:
+    interp.counter.charge("irq_toggle")
+    interp.hw.irqs_enabled = True
+    return VOID_VALUE
+
+
+def _builtin_save_flags(interp: "Interpreter", args, loc) -> TypedValue:
+    return int_value(1 if interp.hw.irqs_enabled else 0, UINT)
+
+
+def _builtin_restore_flags(interp: "Interpreter", args, loc) -> TypedValue:
+    interp.counter.charge("irq_toggle")
+    interp.hw.irqs_enabled = bool(args[0].as_int())
+    return VOID_VALUE
+
+
+def _builtin_irqs_disabled(interp: "Interpreter", args, loc) -> TypedValue:
+    return int_value(0 if interp.hw.irqs_enabled else 1)
+
+
+def _builtin_in_interrupt(interp: "Interpreter", args, loc) -> TypedValue:
+    return int_value(1 if interp.hw.in_interrupt else 0)
+
+
+def _builtin_might_sleep(interp: "Interpreter", args, loc) -> TypedValue:
+    """Record (but do not fail on) a sleep attempt in atomic context.
+
+    The uninstrumented kernel behaves like real hardware: sleeping with
+    interrupts disabled is a latent bug that does not necessarily crash the
+    machine.  BlockStop's inserted assertions, by contrast, panic loudly.
+    """
+    if not interp.hw.irqs_enabled or interp.hw.in_interrupt:
+        interp.atomic_sleep_violations.append(str(loc))
+    return VOID_VALUE
+
+
+def _builtin_context_switch(interp: "Interpreter", args, loc) -> TypedValue:
+    interp.counter.charge("context_switch")
+    return VOID_VALUE
+
+
+def _builtin_syscall_overhead(interp: "Interpreter", args, loc) -> TypedValue:
+    interp.counter.charge("syscall_entry")
+    return VOID_VALUE
+
+
+def _builtin_cycles(interp: "Interpreter", args, loc) -> TypedValue:
+    return int_value(interp.counter.cycles & 0xFFFFFFFF, UINT)
+
+
+def _builtin_smp_processor_id(interp: "Interpreter", args, loc) -> TypedValue:
+    return int_value(0)
+
+
+def _builtin_copy_block(interp: "Interpreter", args, loc) -> TypedValue:
+    """copy_to_user / copy_from_user share this bulk copy implementation."""
+    dst, src, size = args[0].as_int(), args[1].as_int(), args[2].as_int()
+    _bulk_cost(interp, size)
+    interp.memory.memcpy(dst, src, size)
+    return int_value(0, UINT)
+
+
+def _builtin_noop(interp: "Interpreter", args, loc) -> TypedValue:
+    return VOID_VALUE
+
+
+def _builtin_memcpy_typed_noop(interp: "Interpreter", args, loc) -> TypedValue:
+    return _builtin_memcpy(interp, args[:3], loc)
+
+
+def _builtin_memset_typed_noop(interp: "Interpreter", args, loc) -> TypedValue:
+    return _builtin_memset(interp, args[:3], loc)
+
+
+def register_core_builtins(registry: BuiltinRegistry) -> None:
+    """Register the machine-level builtins on ``registry``."""
+    registry.register("__raw_alloc", _builtin_raw_alloc)
+    registry.register("__raw_free", _builtin_raw_free)
+    registry.register("__raw_size", _builtin_raw_size)
+    registry.register("memset", _builtin_memset)
+    registry.register("memcpy", _builtin_memcpy)
+    registry.register("memmove", _builtin_memcpy)
+    registry.register("memcmp", _builtin_memcmp)
+    registry.register("strlen", _builtin_strlen)
+    registry.register("strcpy", _builtin_strcpy)
+    registry.register("strncpy", _builtin_strncpy)
+    registry.register("strcmp", _builtin_strcmp)
+    registry.register("strncmp", _builtin_strncmp)
+    registry.register("printk", _builtin_printk)
+    registry.register("panic", _builtin_panic)
+    registry.register("BUG", _builtin_bug)
+    registry.register("WARN", _builtin_warn)
+    registry.register("__hw_cli", _builtin_cli)
+    registry.register("__hw_sti", _builtin_sti)
+    registry.register("__hw_save_flags", _builtin_save_flags)
+    registry.register("__hw_restore_flags", _builtin_restore_flags)
+    registry.register("__hw_irqs_disabled", _builtin_irqs_disabled)
+    registry.register("__hw_in_interrupt", _builtin_in_interrupt)
+    registry.register("__hw_might_sleep", _builtin_might_sleep)
+    registry.register("__hw_context_switch", _builtin_context_switch)
+    registry.register("__hw_syscall_overhead", _builtin_syscall_overhead)
+    registry.register("__hw_cycles", _builtin_cycles)
+    registry.register("smp_processor_id", _builtin_smp_processor_id)
+    registry.register("__copy_block", _builtin_copy_block)
+    # CCount hooks default to no-ops so that the converted corpus (which
+    # contains delayed-free scopes, RTTI calls and typed memcpy/memset) also
+    # runs on a plain kernel build; installing the CCount runtime replaces
+    # these with the real reference-counting implementations.
+    registry.register("__ccount_delay_begin", _builtin_noop)
+    registry.register("__ccount_delay_end", _builtin_noop)
+    registry.register("__ccount_rtti", _builtin_noop)
+    registry.register("__ccount_rc_inc", _builtin_noop)
+    registry.register("__ccount_rc_dec", _builtin_noop)
+    registry.register("__ccount_memcpy", _builtin_memcpy_typed_noop)
+    registry.register("__ccount_memset", _builtin_memset_typed_noop)
+    # Same story for BlockStop's manual assertion: a no-op on a plain build,
+    # replaced with the real panic-if-atomic check when BlockStop's runtime
+    # is installed.
+    registry.register("__blockstop_assert_irqs_enabled", _builtin_noop)

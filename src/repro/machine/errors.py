@@ -1,0 +1,46 @@
+"""Error types raised by the abstract machine.
+
+The distinction between these error classes is load-bearing for the
+evaluation: an *uninstrumented* kernel running buggy code dies with a
+:class:`MemoryFault` (the moral equivalent of a hardware oops), whereas an
+instrumented kernel fails earlier and deliberately with a
+:class:`CheckFailure` raised by a Deputy/CCount/BlockStop run-time check.
+"""
+
+from __future__ import annotations
+
+from ..minic.errors import SourceLocation
+
+
+class MachineError(Exception):
+    """Base class for all abstract-machine errors."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.message = message
+        self.location = location or SourceLocation()
+        super().__init__(f"{self.location}: {message}")
+
+
+class MemoryFault(MachineError):
+    """A wild memory access: out of bounds, unmapped, or use-after-free."""
+
+
+class CheckFailure(MachineError):
+    """A run-time check inserted by one of the soundness tools failed."""
+
+    def __init__(self, message: str, tool: str = "deputy",
+                 location: SourceLocation | None = None) -> None:
+        self.tool = tool
+        super().__init__(f"[{tool}] {message}", location)
+
+
+class PanicError(MachineError):
+    """The kernel called ``panic()``."""
+
+
+class StepLimitExceeded(MachineError):
+    """The interpreter hit its step budget (runaway loop protection)."""
+
+
+class UndefinedSymbol(MachineError):
+    """A call or reference to a symbol with no definition and no builtin."""

@@ -1,0 +1,895 @@
+"""The MiniC abstract machine (interpreter).
+
+The interpreter executes linked programs (:class:`repro.machine.program.Program`)
+against the flat memory model, charging cycles from the cost model for every
+operation.  It plays the role of the paper's Pentium M test machine: the same
+workload is run on the baseline kernel and on the instrumented kernel, and the
+ratio of cycle counts reproduces the relative-performance numbers of Table 1
+and §2.2.
+
+Design notes
+------------
+* All variables — globals and locals — live in real memory blocks, so taking
+  the address of a local, pointer arithmetic on struct fields, and CCount's
+  per-chunk reference counts all behave faithfully.
+* Aggregate (struct/array) expressions evaluate to their address.
+* ``goto`` is supported for labels in enclosing blocks of the same function
+  (the kernel's pervasive ``goto out;`` cleanup idiom).
+* Functions get pseudo-addresses in a dedicated window so indirect calls
+  through function-pointer tables (file_operations and friends) work.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..minic import ast_nodes as ast
+from ..minic.ctypes import (
+    CArray,
+    CEnum,
+    CFloat,
+    CFunc,
+    CInt,
+    CPointer,
+    CStruct,
+    CType,
+    CVoid,
+    CHAR,
+    INT,
+    UINT,
+    common_arithmetic_type,
+    pointer_to,
+)
+from ..minic.errors import SourceLocation
+from .builtins import BuiltinRegistry, register_core_builtins
+from .cycles import CostModel, CycleCounter, DEFAULT_COST_MODEL
+from .errors import (
+    MachineError,
+    MemoryFault,
+    StepLimitExceeded,
+    UndefinedSymbol,
+)
+from .memory import FUNCTION_BASE, FUNCTION_STRIDE, Memory
+from .program import Program
+from .values import (
+    TypedValue,
+    VOID_VALUE,
+    convert,
+    int_value,
+    is_signed,
+    load_size,
+    pointer_value,
+)
+
+DEFAULT_MAX_STEPS = 20_000_000
+MAX_CALL_DEPTH = 250
+
+
+@dataclass
+class HardwareState:
+    """Simulated hardware flags relevant to the analyses."""
+
+    irqs_enabled: bool = True
+    in_interrupt: bool = False
+    preempt_count: int = 0
+
+
+@dataclass
+class Frame:
+    """One activation record."""
+
+    function: str
+    locals: dict[str, tuple[int, CType]] = field(default_factory=dict)
+    blocks: list = field(default_factory=list)
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: TypedValue) -> None:
+        self.value = value
+
+
+class _GotoSignal(Exception):
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+
+class Interpreter:
+    """Execute a linked MiniC program."""
+
+    def __init__(self, program: Program,
+                 cost_model: CostModel | None = None,
+                 max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        self.program = program
+        self.memory = Memory()
+        self.counter = CycleCounter(model=cost_model or DEFAULT_COST_MODEL)
+        self.builtins = BuiltinRegistry()
+        register_core_builtins(self.builtins)
+        self.hw = HardwareState()
+        self.console: list[str] = []
+        self.warnings: list[str] = []
+        self.atomic_sleep_violations: list[str] = []
+        self.max_steps = max_steps
+        self.globals: dict[str, tuple[int, CType]] = {}
+        self._func_addr: dict[str, int] = {}
+        self._addr_func: dict[int, str] = {}
+        self._string_pool: dict[str, int] = {}
+        self._steps = 0
+        self._call_depth = 0
+        if sys.getrecursionlimit() < 40_000:
+            sys.setrecursionlimit(40_000)
+        self._load_program()
+        # Program loading (global initialisation) is not part of any workload.
+        self.counter.reset()
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+
+    def _load_program(self) -> None:
+        next_func = FUNCTION_BASE
+        for name in self.program.all_function_names():
+            self._func_addr[name] = next_func
+            self._addr_func[next_func] = name
+            next_func += FUNCTION_STRIDE
+        for name, decl in self.program.globals.items():
+            ctype = self._complete_global_type(decl)
+            block = self.memory.alloc(max(ctype_size(ctype), 1), kind="global", name=name)
+            self.globals[name] = (block.base, ctype)
+        for name, decl in self.program.globals.items():
+            if decl.init is not None:
+                addr, ctype = self.globals[name]
+                self._store_initializer(addr, ctype, decl.init, frame=None)
+
+    def _complete_global_type(self, decl: ast.Declaration) -> CType:
+        ctype = decl.type
+        stripped = ctype.strip()
+        if isinstance(stripped, CArray) and stripped.length is None and decl.init is not None:
+            if decl.init.is_list:
+                stripped.length = len(decl.init.elements or [])
+            elif decl.init.expr is not None and isinstance(decl.init.expr, ast.StrLit):
+                stripped.length = len(decl.init.expr.value) + 1
+        return ctype
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, name: str, *args: int) -> TypedValue:
+        """Call function ``name`` with integer/pointer arguments."""
+        ftype = self.program.function_type(name)
+        typed_args: list[TypedValue] = []
+        for index, raw in enumerate(args):
+            if ftype is not None and index < len(ftype.params):
+                ptype = ftype.params[index].type
+            else:
+                ptype = INT
+            typed_args.append(TypedValue(convert(raw, ptype), ptype))
+        return self.call_function(name, typed_args, SourceLocation("<run>", 0, 0))
+
+    def register_builtin(self, name: str, fn, blocking: bool = False) -> None:
+        self.builtins.register(name, fn, blocking=blocking)
+
+    def function_address(self, name: str) -> int:
+        if name not in self._func_addr:
+            raise UndefinedSymbol(f"unknown function {name!r}")
+        return self._func_addr[name]
+
+    def function_at(self, addr: int) -> str | None:
+        return self._addr_func.get(addr)
+
+    def global_address(self, name: str) -> int:
+        return self.globals[name][0]
+
+    def intern_string(self, text: str) -> int:
+        addr = self._string_pool.get(text)
+        if addr is None:
+            data = text.encode("latin-1") + b"\0"
+            block = self.memory.alloc(len(data), kind="rodata", name="<string>")
+            self.memory.store_bytes(block.base, data)
+            addr = block.base
+            self._string_pool[text] = addr
+        return addr
+
+    def console_text(self) -> str:
+        return "".join(self.console)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def call_function(self, name: str, args: list[TypedValue],
+                      loc: SourceLocation) -> TypedValue:
+        builtin = self.builtins.get(name)
+        if builtin is not None:
+            self.counter.charge("builtin_call")
+            return builtin.fn(self, args, loc)
+        funcdef = self.program.function(name)
+        if funcdef is None:
+            raise UndefinedSymbol(f"call to undefined function {name!r}", loc)
+        if self._call_depth >= MAX_CALL_DEPTH:
+            raise MachineError(f"call depth exceeded in {name!r}", loc)
+        ftype = funcdef.type.strip()
+        assert isinstance(ftype, CFunc)
+        frame = Frame(function=name)
+        self.counter.charge("call")
+        self._call_depth += 1
+        try:
+            for index, param in enumerate(ftype.params):
+                value = args[index].value if index < len(args) else 0
+                self._declare_local(frame, param.name or f"__arg{index}", param.type,
+                                    initial=convert(value, param.type))
+            try:
+                self._exec_block(funcdef.body, frame)
+                result = VOID_VALUE
+            except _ReturnSignal as signal:
+                result = signal.value
+            except _GotoSignal as signal:
+                raise MachineError(
+                    f"goto to unknown label {signal.label!r} in {name}", loc)
+            self.counter.charge("ret")
+            return_type = ftype.return_type
+            if isinstance(return_type.strip(), CVoid):
+                return VOID_VALUE
+            return TypedValue(convert(result.value, return_type), return_type)
+        finally:
+            self._call_depth -= 1
+            for block in frame.blocks:
+                if not block.freed:
+                    self.memory.free(block)
+                    self.memory.free_count -= 1
+                    self.memory.bytes_freed -= block.size
+
+    def _call_address(self, addr: int, args: list[TypedValue],
+                      loc: SourceLocation) -> TypedValue:
+        name = self._addr_func.get(addr)
+        if name is None:
+            raise MemoryFault(f"indirect call to non-function address 0x{addr:x}", loc)
+        return self.call_function(name, args, loc)
+
+    # ------------------------------------------------------------------
+    # Locals
+    # ------------------------------------------------------------------
+
+    def _declare_local(self, frame: Frame, name: str, ctype: CType,
+                       initial: int | float | None = None) -> int:
+        size = max(ctype_size(ctype), 1)
+        block = self.memory.alloc(size, kind="stack",
+                                  name=f"{frame.function}:{name}")
+        frame.blocks.append(block)
+        frame.locals[name] = (block.base, ctype)
+        if initial is not None and ctype.strip().is_scalar():
+            self.memory.store(block.base, load_size(ctype), int(initial))
+        return block.base
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _step(self, loc: SourceLocation) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_steps} interpreter steps", loc)
+
+    def exec_stmt(self, stmt: ast.Stmt, frame: Frame) -> None:
+        self._step(stmt.location)
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, frame)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.evaluate(stmt.expr, frame)
+        elif isinstance(stmt, (ast.EmptyStmt, ast.Asm)):
+            pass
+        elif isinstance(stmt, ast.DeclStmt):
+            self._exec_declaration(stmt.decl, frame)
+        elif isinstance(stmt, ast.If):
+            self.counter.charge("branch")
+            if self.evaluate(stmt.cond, frame).value:
+                self.exec_stmt(stmt.then, frame)
+            elif stmt.otherwise is not None:
+                self.exec_stmt(stmt.otherwise, frame)
+        elif isinstance(stmt, ast.While):
+            while True:
+                self.counter.charge("branch")
+                if not self.evaluate(stmt.cond, frame).value:
+                    break
+                try:
+                    self.exec_stmt(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                try:
+                    self.exec_stmt(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                self.counter.charge("branch")
+                if not self.evaluate(stmt.cond, frame).value:
+                    break
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, frame)
+        elif isinstance(stmt, ast.Switch):
+            self._exec_switch(stmt, frame)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.Return):
+            value = VOID_VALUE
+            if stmt.value is not None:
+                value = self.evaluate(stmt.value, frame)
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Goto):
+            raise _GotoSignal(stmt.label)
+        elif isinstance(stmt, ast.Label):
+            if stmt.stmt is not None:
+                self.exec_stmt(stmt.stmt, frame)
+        else:
+            raise MachineError(f"cannot execute {type(stmt).__name__}", stmt.location)
+
+    def _exec_block(self, block: ast.Block, frame: Frame) -> None:
+        stmts = block.stmts
+        index = 0
+        while index < len(stmts):
+            try:
+                self.exec_stmt(stmts[index], frame)
+            except _GotoSignal as signal:
+                target = _find_label(stmts, signal.label)
+                if target is None:
+                    raise
+                index = target
+                continue
+            index += 1
+
+    def _exec_for(self, stmt: ast.For, frame: Frame) -> None:
+        if isinstance(stmt.init, ast.Declaration):
+            self._exec_declaration(stmt.init, frame)
+        elif isinstance(stmt.init, ast.Block):
+            self._exec_block(stmt.init, frame)
+        elif isinstance(stmt.init, ast.Expr):
+            self.evaluate(stmt.init, frame)
+        while True:
+            self.counter.charge("branch")
+            if stmt.cond is not None and not self.evaluate(stmt.cond, frame).value:
+                break
+            try:
+                self.exec_stmt(stmt.body, frame)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if stmt.step is not None:
+                self.evaluate(stmt.step, frame)
+
+    def _exec_switch(self, stmt: ast.Switch, frame: Frame) -> None:
+        self.counter.charge("switch_dispatch")
+        selector = self.evaluate(stmt.cond, frame).as_int()
+        start: Optional[int] = None
+        default: Optional[int] = None
+        for index, case in enumerate(stmt.cases):
+            if case.value is None:
+                default = index
+                continue
+            if self.evaluate(case.value, frame).as_int() == selector:
+                start = index
+                break
+        if start is None:
+            start = default
+        if start is None:
+            return
+        try:
+            for case in stmt.cases[start:]:
+                for inner in case.stmts:
+                    self.exec_stmt(inner, frame)
+        except _BreakSignal:
+            pass
+
+    def _exec_declaration(self, decl: ast.Declaration, frame: Frame) -> None:
+        if decl.is_typedef:
+            return
+        ctype = decl.type
+        stripped = ctype.strip()
+        if isinstance(stripped, CArray) and stripped.length is None and decl.init is not None:
+            if decl.init.is_list:
+                stripped.length = len(decl.init.elements or [])
+            elif isinstance(decl.init.expr, ast.StrLit):
+                stripped.length = len(decl.init.expr.value) + 1
+        addr = self._declare_local(frame, decl.name, ctype)
+        if decl.init is not None:
+            self._store_initializer(addr, ctype, decl.init, frame)
+
+    # ------------------------------------------------------------------
+    # Initializers
+    # ------------------------------------------------------------------
+
+    def _store_initializer(self, addr: int, ctype: CType, init: ast.Initializer,
+                           frame: Frame | None) -> None:
+        stripped = ctype.strip()
+        if init.is_list:
+            elements = init.elements or []
+            names = init.field_names or [None] * len(elements)
+            if isinstance(stripped, CStruct):
+                next_index = 0
+                for name, element in zip(names, elements):
+                    if name is not None:
+                        member = stripped.field_named(name)
+                        next_index = stripped.fields.index(member) + 1
+                    else:
+                        member = stripped.fields[next_index]
+                        next_index += 1
+                    self._store_initializer(addr + member.offset, member.type,
+                                            element, frame)
+            elif isinstance(stripped, CArray):
+                element_type = stripped.element
+                for index, element in enumerate(elements):
+                    self._store_initializer(addr + index * ctype_size(element_type),
+                                            element_type, element, frame)
+            else:
+                # Scalar initialised with braces: use the first element.
+                if elements:
+                    self._store_initializer(addr, ctype, elements[0], frame)
+            return
+        expr = init.expr
+        assert expr is not None
+        if isinstance(expr, ast.StrLit) and isinstance(stripped, CArray):
+            data = expr.value.encode("latin-1") + b"\0"
+            self.memory.store_bytes(addr, data[:ctype_size(stripped)])
+            return
+        value = self.evaluate(expr, frame)
+        if isinstance(stripped, CStruct):
+            self.memory.memcpy(addr, value.as_int(), stripped.size)
+            return
+        self.memory.store(addr, load_size(ctype), int(convert(value.value, ctype)))
+        self.counter.charge("store")
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: ast.Expr, frame: Frame | None) -> TypedValue:
+        if isinstance(expr, ast.IntLit):
+            return int_value(expr.value)
+        if isinstance(expr, ast.CharLit):
+            return int_value(expr.value, CHAR)
+        if isinstance(expr, ast.StrLit):
+            return pointer_value(self.intern_string(expr.value), pointer_to(CHAR))
+        if isinstance(expr, ast.Ident):
+            return self._eval_ident(expr, frame)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, frame)
+        if isinstance(expr, ast.Postfix):
+            return self._eval_postfix(expr, frame)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, frame)
+        if isinstance(expr, ast.Assign):
+            return self._eval_assign(expr, frame)
+        if isinstance(expr, ast.Conditional):
+            self.counter.charge("branch")
+            if self.evaluate(expr.cond, frame).value:
+                return self.evaluate(expr.then, frame)
+            return self.evaluate(expr.otherwise, frame)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, frame)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            addr, ctype = self.lvalue(expr, frame)
+            return self._load_value(addr, ctype)
+        if isinstance(expr, ast.Cast):
+            inner = self.evaluate(expr.operand, frame)
+            return TypedValue(convert(inner.value, expr.to_type), expr.to_type)
+        if isinstance(expr, ast.SizeofType):
+            return int_value(ctype_size(expr.of_type), UINT)
+        if isinstance(expr, ast.SizeofExpr):
+            return int_value(ctype_size(self.static_type(expr.operand, frame)), UINT)
+        if isinstance(expr, ast.Comma):
+            result = VOID_VALUE
+            for item in expr.exprs:
+                result = self.evaluate(item, frame)
+            return result
+        raise MachineError(f"cannot evaluate {type(expr).__name__}", expr.location)
+
+    def _eval_ident(self, expr: ast.Ident, frame: Frame | None) -> TypedValue:
+        binding = self._lookup(expr.name, frame)
+        if binding is not None:
+            addr, ctype = binding
+            return self._load_value(addr, ctype)
+        if expr.name in self._func_addr:
+            ftype = self.program.function_type(expr.name) or CFunc(return_type=INT)
+            return pointer_value(self._func_addr[expr.name], pointer_to(ftype))
+        if expr.name in self.builtins:
+            # Builtins can have their address taken only if also prototyped;
+            # give them a synthetic address lazily.
+            addr = FUNCTION_BASE - FUNCTION_STRIDE * (len(self._string_pool) + 1)
+            raise UndefinedSymbol(
+                f"cannot take the value of builtin {expr.name!r} without a prototype",
+                expr.location)
+        raise UndefinedSymbol(f"undefined identifier {expr.name!r}", expr.location)
+
+    def _load_value(self, addr: int, ctype: CType) -> TypedValue:
+        stripped = ctype.strip()
+        if isinstance(stripped, (CStruct, CArray)):
+            # Aggregates evaluate to their address.
+            return TypedValue(addr, ctype)
+        if isinstance(stripped, CFunc):
+            return TypedValue(addr, pointer_to(stripped))
+        self.counter.charge("load")
+        if isinstance(stripped, CFloat):
+            raw = self.memory.load(addr, stripped.size)
+            return TypedValue(float(raw), ctype)
+        raw = self.memory.load(addr, load_size(ctype), signed=is_signed(ctype))
+        return TypedValue(raw, ctype)
+
+    def _eval_unary(self, expr: ast.Unary, frame: Frame | None) -> TypedValue:
+        op = expr.op
+        if op == "&":
+            addr, ctype = self.lvalue(expr.operand, frame)
+            return pointer_value(addr, pointer_to(ctype))
+        if op == "*":
+            addr, ctype = self.lvalue(expr, frame)
+            return self._load_value(addr, ctype)
+        if op in ("++", "--"):
+            addr, ctype = self.lvalue(expr.operand, frame)
+            old = self._load_value(addr, ctype)
+            delta = self._pointer_step(ctype)
+            new_value = old.value + delta if op == "++" else old.value - delta
+            self._store_scalar(addr, ctype, new_value)
+            return TypedValue(convert(new_value, ctype), ctype)
+        operand = self.evaluate(expr.operand, frame)
+        self.counter.charge("unop")
+        if op == "-":
+            return TypedValue(convert(-operand.value, operand.ctype), operand.ctype)
+        if op == "~":
+            return TypedValue(convert(~operand.as_int(), operand.ctype), operand.ctype)
+        if op == "!":
+            return int_value(0 if operand.value else 1)
+        raise MachineError(f"unknown unary operator {op!r}", expr.location)
+
+    def _eval_postfix(self, expr: ast.Postfix, frame: Frame | None) -> TypedValue:
+        addr, ctype = self.lvalue(expr.operand, frame)
+        old = self._load_value(addr, ctype)
+        delta = self._pointer_step(ctype)
+        new_value = old.value + delta if expr.op == "++" else old.value - delta
+        self._store_scalar(addr, ctype, new_value)
+        return old
+
+    def _pointer_step(self, ctype: CType) -> int:
+        stripped = ctype.strip()
+        if isinstance(stripped, CPointer):
+            return max(ctype_size(stripped.target), 1)
+        return 1
+
+    def _eval_binary(self, expr: ast.Binary, frame: Frame | None) -> TypedValue:
+        op = expr.op
+        if op == "&&":
+            self.counter.charge("branch")
+            left = self.evaluate(expr.left, frame)
+            if not left.value:
+                return int_value(0)
+            right = self.evaluate(expr.right, frame)
+            return int_value(1 if right.value else 0)
+        if op == "||":
+            self.counter.charge("branch")
+            left = self.evaluate(expr.left, frame)
+            if left.value:
+                return int_value(1)
+            right = self.evaluate(expr.right, frame)
+            return int_value(1 if right.value else 0)
+        left = self.evaluate(expr.left, frame)
+        right = self.evaluate(expr.right, frame)
+        self.counter.charge("binop")
+        return self._binary_op(op, left, right, expr.location)
+
+    def _binary_op(self, op: str, left: TypedValue, right: TypedValue,
+                   loc: SourceLocation) -> TypedValue:
+        lt, rt = left.ctype.strip(), right.ctype.strip()
+        left_is_ptr = isinstance(lt, (CPointer, CArray))
+        right_is_ptr = isinstance(rt, (CPointer, CArray))
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            lv, rv = left.value, right.value
+            result = {
+                "==": lv == rv, "!=": lv != rv, "<": lv < rv,
+                ">": lv > rv, "<=": lv <= rv, ">=": lv >= rv,
+            }[op]
+            return int_value(1 if result else 0)
+        if op == "+" and left_is_ptr and not right_is_ptr:
+            step = _element_size(lt)
+            return TypedValue((left.as_int() + right.as_int() * step) & 0xFFFFFFFF,
+                              _as_pointer(left.ctype))
+        if op == "+" and right_is_ptr and not left_is_ptr:
+            step = _element_size(rt)
+            return TypedValue((right.as_int() + left.as_int() * step) & 0xFFFFFFFF,
+                              _as_pointer(right.ctype))
+        if op == "-" and left_is_ptr and right_is_ptr:
+            step = _element_size(lt)
+            return int_value((left.as_int() - right.as_int()) // max(step, 1), INT)
+        if op == "-" and left_is_ptr:
+            step = _element_size(lt)
+            return TypedValue((left.as_int() - right.as_int() * step) & 0xFFFFFFFF,
+                              _as_pointer(left.ctype))
+        # Plain arithmetic.
+        result_type = _arith_result_type(left.ctype, right.ctype)
+        lv, rv = left.value, right.value
+        if op == "/" and rv == 0:
+            raise MachineError("integer division by zero", loc)
+        if op == "%" and rv == 0:
+            raise MachineError("integer modulo by zero", loc)
+        if op == "+":
+            raw = lv + rv
+        elif op == "-":
+            raw = lv - rv
+        elif op == "*":
+            raw = lv * rv
+        elif op == "/":
+            raw = (lv / rv if isinstance(result_type.strip(), CFloat)
+                   else _c_div(int(lv), int(rv)))
+        elif op == "%":
+            raw = _c_mod(int(lv), int(rv))
+        elif op == "<<":
+            raw = int(lv) << (int(rv) & 63)
+        elif op == ">>":
+            raw = int(lv) >> (int(rv) & 63)
+        elif op == "&":
+            raw = int(lv) & int(rv)
+        elif op == "|":
+            raw = int(lv) | int(rv)
+        elif op == "^":
+            raw = int(lv) ^ int(rv)
+        else:
+            raise MachineError(f"unknown binary operator {op!r}", loc)
+        return TypedValue(convert(raw, result_type), result_type)
+
+    def _eval_assign(self, expr: ast.Assign, frame: Frame | None) -> TypedValue:
+        addr, ctype = self.lvalue(expr.target, frame)
+        stripped = ctype.strip()
+        value = self.evaluate(expr.value, frame)
+        if expr.op != "=":
+            op = expr.op[:-1]
+            old = self._load_value(addr, ctype)
+            self.counter.charge("binop")
+            value = self._binary_op(op, old, value, expr.location)
+        if isinstance(stripped, CStruct):
+            self.counter.charge("bulk_per_word", times=max(1, stripped.size // 4))
+            self.memory.memcpy(addr, value.as_int(), stripped.size)
+            return TypedValue(addr, ctype)
+        result = TypedValue(convert(value.value, ctype), ctype)
+        self._store_scalar(addr, ctype, result.value)
+        return result
+
+    def _store_scalar(self, addr: int, ctype: CType, value) -> None:
+        self.counter.charge("store")
+        stripped = ctype.strip()
+        if isinstance(stripped, CFloat):
+            self.memory.store(addr, stripped.size, int(value))
+            return
+        self.memory.store(addr, load_size(ctype), int(convert(value, ctype)))
+
+    def _eval_call(self, expr: ast.Call, frame: Frame | None) -> TypedValue:
+        args = [self.evaluate(arg, frame) for arg in expr.args]
+        func = expr.func
+        if isinstance(func, ast.Ident):
+            name = func.name
+            if name in self.builtins or name in self.program.functions:
+                return self.call_function(name, args, expr.location)
+            binding = self._lookup(name, frame)
+            if binding is None:
+                if name in self._func_addr:
+                    raise UndefinedSymbol(
+                        f"call to function {name!r} which has no definition",
+                        expr.location)
+                raise UndefinedSymbol(f"call to undefined function {name!r}",
+                                      expr.location)
+            target = self._load_value(*binding)
+            return self._call_address(target.as_int(), args, expr.location)
+        target = self.evaluate(func, frame)
+        return self._call_address(target.as_int(), args, expr.location)
+
+    # ------------------------------------------------------------------
+    # LValues
+    # ------------------------------------------------------------------
+
+    def lvalue(self, expr: ast.Expr, frame: Frame | None) -> tuple[int, CType]:
+        if isinstance(expr, ast.Ident):
+            binding = self._lookup(expr.name, frame)
+            if binding is None:
+                raise UndefinedSymbol(f"undefined identifier {expr.name!r}",
+                                      expr.location)
+            return binding
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointer = self.evaluate(expr.operand, frame)
+            target = _pointer_target(pointer.ctype)
+            return pointer.as_int(), target
+        if isinstance(expr, ast.Index):
+            return self._lvalue_index(expr, frame)
+        if isinstance(expr, ast.Member):
+            return self._lvalue_member(expr, frame)
+        if isinstance(expr, ast.Cast):
+            addr, _ = self.lvalue(expr.operand, frame)
+            return addr, expr.to_type
+        if isinstance(expr, ast.Comma) and expr.exprs:
+            # Instrumentation wraps checked lvalues as (check, lvalue); the
+            # leading expressions run for their effects, the last designates
+            # the location.
+            for item in expr.exprs[:-1]:
+                self.evaluate(item, frame)
+            return self.lvalue(expr.exprs[-1], frame)
+        raise MachineError(
+            f"expression {type(expr).__name__} is not an lvalue", expr.location)
+
+    def _lvalue_index(self, expr: ast.Index, frame: Frame | None) -> tuple[int, CType]:
+        base_type = self.static_type(expr.base, frame)
+        stripped = base_type.strip()
+        if isinstance(stripped, CArray):
+            base_addr, _ = self.lvalue(expr.base, frame)
+            element = stripped.element
+        else:
+            pointer = self.evaluate(expr.base, frame)
+            stripped = pointer.ctype.strip()
+            element = _pointer_target(pointer.ctype)
+            base_addr = pointer.as_int()
+        index = self.evaluate(expr.index, frame).as_int()
+        return base_addr + index * max(ctype_size(element), 1), element
+
+    def _lvalue_member(self, expr: ast.Member, frame: Frame | None) -> tuple[int, CType]:
+        if expr.arrow:
+            base = self.evaluate(expr.base, frame)
+            struct_type = _pointer_target(base.ctype).strip()
+            base_addr = base.as_int()
+        else:
+            base_addr, base_type = self.lvalue(expr.base, frame)
+            struct_type = base_type.strip()
+        if not isinstance(struct_type, CStruct):
+            raise MachineError(
+                f"member access on non-struct type {struct_type}", expr.location)
+        member = struct_type.field_named(expr.name)
+        return base_addr + member.offset, member.type
+
+    # ------------------------------------------------------------------
+    # Static types (sizeof, lvalue classification)
+    # ------------------------------------------------------------------
+
+    def static_type(self, expr: ast.Expr, frame: Frame | None) -> CType:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.CharLit):
+            return CHAR
+        if isinstance(expr, ast.StrLit):
+            return CArray(element=CHAR, length=len(expr.value) + 1)
+        if isinstance(expr, ast.Ident):
+            binding = self._lookup(expr.name, frame)
+            if binding is not None:
+                return binding[1]
+            if expr.name in self._func_addr:
+                ftype = self.program.function_type(expr.name) or CFunc(return_type=INT)
+                return pointer_to(ftype)
+            return INT
+        if isinstance(expr, ast.Unary):
+            if expr.op == "*":
+                return _pointer_target(self.static_type(expr.operand, frame))
+            if expr.op == "&":
+                return pointer_to(self.static_type(expr.operand, frame))
+            return self.static_type(expr.operand, frame)
+        if isinstance(expr, ast.Postfix):
+            return self.static_type(expr.operand, frame)
+        if isinstance(expr, ast.Index):
+            base = self.static_type(expr.base, frame).strip()
+            if isinstance(base, CArray):
+                return base.element
+            return _pointer_target(base)
+        if isinstance(expr, ast.Member):
+            base = self.static_type(expr.base, frame).strip()
+            if expr.arrow:
+                base = _pointer_target(base).strip()
+            if isinstance(base, CStruct) and base.has_field(expr.name):
+                return base.field_named(expr.name).type
+            return INT
+        if isinstance(expr, ast.Cast):
+            return expr.to_type
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Ident):
+                ftype = self.program.function_type(expr.func.name)
+                if ftype is not None:
+                    return ftype.return_type
+            func_type = self.static_type(expr.func, frame).strip()
+            if isinstance(func_type, CPointer):
+                inner = func_type.target.strip()
+                if isinstance(inner, CFunc):
+                    return inner.return_type
+            return INT
+        if isinstance(expr, ast.Binary):
+            left = self.static_type(expr.left, frame)
+            if left.strip().is_pointer() or isinstance(left.strip(), CArray):
+                return left
+            return self.static_type(expr.right, frame)
+        if isinstance(expr, ast.Assign):
+            return self.static_type(expr.target, frame)
+        if isinstance(expr, ast.Conditional):
+            return self.static_type(expr.then, frame)
+        if isinstance(expr, (ast.SizeofExpr, ast.SizeofType)):
+            return UINT
+        if isinstance(expr, ast.Comma):
+            return self.static_type(expr.exprs[-1], frame) if expr.exprs else INT
+        return INT
+
+    # ------------------------------------------------------------------
+    # Name lookup
+    # ------------------------------------------------------------------
+
+    def _lookup(self, name: str, frame: Frame | None) -> tuple[int, CType] | None:
+        if frame is not None and name in frame.locals:
+            return frame.locals[name]
+        if name in self.globals:
+            return self.globals[name]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def ctype_size(ctype: CType) -> int:
+    """Size of a type, treating incomplete arrays as empty."""
+    stripped = ctype.strip()
+    if isinstance(stripped, CArray) and stripped.length is None:
+        return 0
+    return stripped.size
+
+
+def _element_size(ctype: CType) -> int:
+    if isinstance(ctype, CPointer):
+        return max(ctype_size(ctype.target), 1)
+    if isinstance(ctype, CArray):
+        return max(ctype_size(ctype.element), 1)
+    return 1
+
+
+def _as_pointer(ctype: CType) -> CType:
+    stripped = ctype.strip()
+    if isinstance(stripped, CArray):
+        return pointer_to(stripped.element)
+    return ctype
+
+
+def _pointer_target(ctype: CType) -> CType:
+    stripped = ctype.strip()
+    if isinstance(stripped, CPointer):
+        return stripped.target
+    if isinstance(stripped, CArray):
+        return stripped.element
+    return INT
+
+
+def _arith_result_type(left: CType, right: CType) -> CType:
+    try:
+        return common_arithmetic_type(left, right)
+    except Exception:
+        return UINT
+
+
+def _c_div(a: int, b: int) -> int:
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+def _find_label(stmts: Sequence[ast.Stmt], label: str) -> int | None:
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, ast.Label) and stmt.name == label:
+            return index
+    return None

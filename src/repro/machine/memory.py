@@ -1,0 +1,234 @@
+"""The abstract machine's flat byte-addressable memory.
+
+Every allocation (global, string literal, stack slot, heap object) becomes a
+:class:`Block` placed at a unique 16-byte-aligned address in a single flat
+address space.  Pointers are plain integers — addresses — so pointer
+arithmetic, ``memcpy`` of structs containing pointers, and CCount's
+"reference count per 16-byte chunk of memory" all behave like they would on
+real hardware.
+
+Freed blocks stay registered (their storage is retired, never reused for a
+*different* address), so a load or store through a dangling pointer is
+reliably detected as a :class:`MemoryFault` rather than silently reading
+whatever object happened to be reallocated there.  This makes the machine a
+strict oracle: if CCount misses a bad free, the machine still notices the
+eventual dangling access.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from .errors import MemoryFault
+
+#: Alignment of every block; also CCount's chunk size.
+BLOCK_ALIGN = 16
+
+#: Base of the ordinary data address space (NULL page below stays unmapped).
+DATA_BASE = 0x0001_0000
+
+#: Function "addresses" live in their own window so that calling data or
+#: dereferencing a function pointer is caught immediately.
+FUNCTION_BASE = 0x0800_0000
+FUNCTION_STRIDE = 16
+
+
+@dataclass
+class Block:
+    """One allocated object."""
+
+    base: int
+    size: int
+    kind: str = "heap"           # "heap", "stack", "global", "rodata"
+    name: str = ""
+    freed: bool = False
+    data: bytearray = field(default_factory=bytearray)
+    alloc_site: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = bytearray(self.size)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+    def offset_of(self, addr: int) -> int:
+        return addr - self.base
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else "live"
+        label = f" {self.name}" if self.name else ""
+        return f"<Block {self.kind}{label} base=0x{self.base:x} size={self.size} {state}>"
+
+
+class Memory:
+    """The flat address space."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, Block] = {}
+        self._bases: list[int] = []
+        self._next_addr = DATA_BASE
+        self.bytes_allocated = 0
+        self.bytes_freed = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc(self, size: int, kind: str = "heap", name: str = "",
+              alloc_site: str = "") -> Block:
+        """Allocate a new block of ``size`` bytes (minimum 1)."""
+        size = max(int(size), 1)
+        base = self._next_addr
+        block = Block(base=base, size=size, kind=kind, name=name,
+                      alloc_site=alloc_site)
+        self._blocks[base] = block
+        self._bases.append(base)          # bases are strictly increasing
+        padded = _round_up(size, BLOCK_ALIGN) + BLOCK_ALIGN  # guard gap
+        self._next_addr = base + padded
+        self.bytes_allocated += size
+        self.alloc_count += 1
+        return block
+
+    def free(self, block: Block) -> None:
+        """Mark ``block`` freed.  Double frees raise a fault."""
+        if block.freed:
+            raise MemoryFault(f"double free of {block!r}")
+        block.freed = True
+        self.bytes_freed += block.size
+        self.free_count += 1
+
+    def free_addr(self, addr: int) -> Block:
+        """Free the block whose *base* is ``addr`` (like ``kfree``)."""
+        block = self._blocks.get(addr)
+        if block is None:
+            block = self.find_block(addr)
+            if block is None:
+                raise MemoryFault(f"free of unmapped address 0x{addr:x}")
+            if block.base != addr:
+                raise MemoryFault(
+                    f"free of interior pointer 0x{addr:x} into {block!r}")
+        self.free(block)
+        return block
+
+    # -- lookup --------------------------------------------------------------
+
+    def find_block(self, addr: int) -> Block | None:
+        """Return the block containing ``addr`` (live or freed), if any."""
+        if addr < DATA_BASE or not self._bases:
+            return None
+        index = bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        block = self._blocks[self._bases[index]]
+        if block.base <= addr < block.end:
+            return block
+        return None
+
+    def require_block(self, addr: int, size: int = 1, write: bool = False) -> Block:
+        """The block containing [addr, addr+size), raising faults otherwise."""
+        if addr == 0:
+            raise MemoryFault("NULL pointer dereference")
+        block = self.find_block(addr)
+        if block is None:
+            raise MemoryFault(f"access to unmapped address 0x{addr:x}")
+        if block.freed:
+            raise MemoryFault(
+                f"use after free: access to 0x{addr:x} inside {block!r}")
+        if not block.contains(addr, size):
+            kind = "write" if write else "read"
+            raise MemoryFault(
+                f"out-of-bounds {kind} of {size} bytes at 0x{addr:x} in {block!r}")
+        return block
+
+    def is_valid(self, addr: int, size: int = 1) -> bool:
+        """Whether [addr, addr+size) lies inside a single live block."""
+        if addr == 0:
+            return False
+        block = self.find_block(addr)
+        return block is not None and not block.freed and block.contains(addr, size)
+
+    # -- typed access ---------------------------------------------------------
+
+    def load(self, addr: int, size: int, signed: bool = False) -> int:
+        """Load a little-endian integer of ``size`` bytes."""
+        block = self.require_block(addr, size)
+        offset = block.offset_of(addr)
+        raw = bytes(block.data[offset:offset + size])
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        """Store a little-endian integer of ``size`` bytes."""
+        block = self.require_block(addr, size, write=True)
+        offset = block.offset_of(addr)
+        value &= (1 << (8 * size)) - 1
+        block.data[offset:offset + size] = value.to_bytes(size, "little")
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        block = self.require_block(addr, size)
+        offset = block.offset_of(addr)
+        return bytes(block.data[offset:offset + size])
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        block = self.require_block(addr, len(data), write=True)
+        offset = block.offset_of(addr)
+        block.data[offset:offset + len(data)] = data
+
+    def load_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated string starting at ``addr``."""
+        block = self.require_block(addr, 1)
+        offset = block.offset_of(addr)
+        end = block.data.find(b"\0", offset)
+        if end < 0:
+            raise MemoryFault(f"unterminated string at 0x{addr:x} in {block!r}")
+        raw = bytes(block.data[offset:min(end, offset + limit)])
+        return raw.decode("latin-1")
+
+    def memset(self, addr: int, value: int, size: int) -> None:
+        if size <= 0:
+            return
+        block = self.require_block(addr, size, write=True)
+        offset = block.offset_of(addr)
+        block.data[offset:offset + size] = bytes([value & 0xFF]) * size
+
+    def memcpy(self, dst: int, src: int, size: int) -> None:
+        if size <= 0:
+            return
+        data = self.load_bytes(src, size)
+        self.store_bytes(dst, data)
+
+    # -- statistics -----------------------------------------------------------
+
+    def live_blocks(self, kind: str | None = None) -> list[Block]:
+        return [b for b in self._blocks.values()
+                if not b.freed and (kind is None or b.kind == kind)]
+
+    def all_blocks(self) -> list[Block]:
+        return list(self._blocks.values())
+
+    def live_bytes(self) -> int:
+        return sum(b.size for b in self._blocks.values() if not b.freed)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+def chunk_index(addr: int) -> int:
+    """The CCount chunk (16-byte granule) index of an address."""
+    return addr // BLOCK_ALIGN
+
+
+def chunk_range(addr: int, size: int) -> range:
+    """All chunk indices overlapping [addr, addr+size)."""
+    if size <= 0:
+        return range(0)
+    return range(chunk_index(addr), chunk_index(addr + size - 1) + 1)

@@ -1,0 +1,162 @@
+"""Hand-written lexer for MiniC.
+
+The lexer is deliberately simple: it works on already-preprocessed text (see
+:mod:`repro.minic.source`) and produces a flat list of :class:`Token` objects
+terminated by an EOF token.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+_SIMPLE_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+class Lexer:
+    """Convert MiniC source text into a token stream."""
+
+    def __init__(self, text: str, filename: str = "<unknown>") -> None:
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return the full token list, including the trailing EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals --------------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self.text[self.pos:self.pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return consumed
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n\f\v":
+            self._advance()
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace()
+        loc = self._location()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", None, loc)
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_identifier(loc)
+        if ch.isdigit():
+            return self._lex_number(loc)
+        if ch == "'":
+            return self._lex_char(loc)
+        if ch == '"':
+            return self._lex_string(loc)
+        for punct in PUNCTUATORS:
+            if self.text.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, None, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    def _lex_identifier(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.text[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, text, loc)
+
+    def _lex_number(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        text = self.text
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self.pos < len(text) and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            digits = text[start:self.pos]
+            value = int(digits, 16)
+        elif self._peek() == "0" and self._peek(1).isdigit():
+            self._advance()
+            while self.pos < len(text) and self._peek().isdigit():
+                self._advance()
+            digits = text[start:self.pos]
+            value = int(digits, 8)
+        else:
+            while self.pos < len(text) and self._peek().isdigit():
+                self._advance()
+            digits = text[start:self.pos]
+            value = int(digits, 10)
+        # Integer suffixes (u, l, ul, ull, ...) are accepted and ignored:
+        # MiniC models a single 32-bit int plus 64-bit long long.
+        while self._peek() in "uUlL":
+            self._advance()
+        return Token(TokenKind.INT_LIT, text[start:self.pos], value, loc)
+
+    def _lex_escape(self, loc: SourceLocation) -> str:
+        self._advance()  # backslash
+        ch = self._peek()
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            if not digits:
+                raise LexError("invalid hex escape", loc)
+            return chr(int(digits, 16))
+        if ch in _SIMPLE_ESCAPES:
+            self._advance()
+            return _SIMPLE_ESCAPES[ch]
+        raise LexError(f"unknown escape sequence \\{ch}", loc)
+
+    def _lex_char(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            value = self._lex_escape(loc)
+        else:
+            value = self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        return Token(TokenKind.CHAR_LIT, value, ord(value), loc)
+
+    def _lex_string(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.text) or self._peek() == "\n":
+                raise LexError("unterminated string literal", loc)
+            if self._peek() == '"':
+                self._advance()
+                break
+            if self._peek() == "\\":
+                chars.append(self._lex_escape(loc))
+            else:
+                chars.append(self._advance())
+        value = "".join(chars)
+        return Token(TokenKind.STRING_LIT, value, value, loc)
+
+
+def tokenize(text: str, filename: str = "<unknown>") -> list[Token]:
+    """Tokenize ``text`` (already preprocessed) into a token list."""
+    return Lexer(text, filename).tokenize()

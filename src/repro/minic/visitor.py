@@ -1,0 +1,96 @@
+"""Generic AST traversal and rewriting utilities.
+
+Two base classes are provided:
+
+* :class:`Visitor` — read-only traversal with ``visit_<NodeClass>`` hooks.
+* :class:`Transformer` — rebuild-style traversal used by the instrumenters;
+  returning a new node replaces the old one, returning the input leaves the
+  tree unchanged.
+
+Both walk child nodes automatically, so a concrete visitor only overrides the
+hooks it cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Any, Iterator
+
+from . import ast_nodes as ast
+
+
+def iter_child_nodes(node: ast.Node) -> Iterator[ast.Node]:
+    """Yield the direct AST-node children of ``node``."""
+    if not is_dataclass(node):
+        return
+    for spec in fields(node):
+        value = getattr(node, spec.name)
+        if isinstance(value, ast.Node):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.Node):
+                    yield item
+
+
+def walk(node: ast.Node) -> Iterator[ast.Node]:
+    """Yield ``node`` and all its descendants in pre-order."""
+    yield node
+    for child in iter_child_nodes(node):
+        yield from walk(child)
+
+
+class Visitor:
+    """Read-only traversal with per-node-class hooks."""
+
+    def visit(self, node: ast.Node) -> Any:
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node) -> None:
+        for child in iter_child_nodes(node):
+            self.visit(child)
+
+
+class Transformer:
+    """Rebuild-style traversal: hooks return replacement nodes."""
+
+    def visit(self, node: ast.Node) -> ast.Node:
+        self._transform_children(node)
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            replacement = method(node)
+            return node if replacement is None else replacement
+        return node
+
+    def _transform_children(self, node: ast.Node) -> None:
+        if not is_dataclass(node):
+            return
+        for spec in fields(node):
+            value = getattr(node, spec.name)
+            if isinstance(value, ast.Node):
+                setattr(node, spec.name, self.visit(value))
+            elif isinstance(value, list):
+                new_items = []
+                for item in value:
+                    if isinstance(item, ast.Node):
+                        replacement = self.visit(item)
+                        if isinstance(replacement, list):
+                            new_items.extend(replacement)
+                        else:
+                            new_items.append(replacement)
+                    else:
+                        new_items.append(item)
+                setattr(node, spec.name, new_items)
+
+
+def collect(node: ast.Node, node_type: type) -> list[ast.Node]:
+    """Collect all descendants of ``node`` that are instances of ``node_type``."""
+    return [n for n in walk(node) if isinstance(n, node_type)]
+
+
+def count_nodes(node: ast.Node) -> int:
+    """Total number of nodes in the subtree rooted at ``node``."""
+    return sum(1 for _ in walk(node))

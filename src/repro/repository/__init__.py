@@ -1,0 +1,9 @@
+"""The shared annotation repository proposed in §3.2 of the paper."""
+
+from .database import AnnotationDatabase, export_blocking_facts, export_deputy_facts
+from .records import Fact, FactSet
+
+__all__ = [
+    "AnnotationDatabase", "export_blocking_facts", "export_deputy_facts",
+    "Fact", "FactSet",
+]

@@ -1,0 +1,115 @@
+"""The shared annotation database: persistence, merging and queries."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .records import Fact, FactSet
+
+
+@dataclass
+class AnnotationDatabase:
+    """A JSON-backed store of facts about one or more programs."""
+
+    facts: FactSet = field(default_factory=FactSet)
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, fact: Fact) -> None:
+        self.facts.add(fact)
+
+    def add_all(self, facts: list[Fact]) -> None:
+        for fact in facts:
+            self.add(fact)
+
+    def merge(self, other: "AnnotationDatabase") -> int:
+        """Merge another database, keeping the higher-confidence fact on conflict.
+
+        Returns the number of facts imported (conflicts resolved in favour of
+        the existing fact are not counted).
+        """
+        imported = 0
+        by_key = {fact.key(): fact for fact in self.facts}
+        for fact in other.facts:
+            existing = by_key.get(fact.key())
+            if existing is None:
+                self.add(fact)
+                by_key[fact.key()] = fact
+                imported += 1
+            elif fact.confidence > existing.confidence:
+                self.facts.facts.remove(existing)
+                self.add(fact)
+                by_key[fact.key()] = fact
+                imported += 1
+        return imported
+
+    # -- queries ---------------------------------------------------------------
+
+    def about(self, subject: str) -> list[Fact]:
+        return self.facts.about(subject)
+
+    def blocking_functions(self) -> set[str]:
+        return {fact.subject for fact in self.facts.of_kind("blocking")
+                if fact.payload in ("blocking", "blocking_if_wait")}
+
+    def annotations_for(self, subject: str) -> list[str]:
+        return [fact.payload for fact in self.about(subject)
+                if fact.fact_kind == "annotation"]
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = [fact.to_dict() for fact in self.facts]
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AnnotationDatabase":
+        data = json.loads(Path(path).read_text())
+        database = cls()
+        database.add_all([Fact.from_dict(item) for item in data])
+        return database
+
+
+# ---------------------------------------------------------------------------
+# Exporters: populate the database from the tools' results
+# ---------------------------------------------------------------------------
+
+def export_blocking_facts(info, graph, tool: str = "blockstop") -> list[Fact]:
+    """Facts from a BlockStop run (the annotations it would emit)."""
+    from ..blockstop.blocking import emit_annotations
+
+    facts = []
+    for name, label in emit_annotations(info, graph).items():
+        facts.append(Fact(subject_kind="function", subject=name,
+                          fact_kind="blocking", payload=label, tool=tool))
+    return facts
+
+
+def export_deputy_facts(program, tool: str = "deputy") -> list[Fact]:
+    """Facts recording every source-level Deputy annotation in a program."""
+    from ..minic import ast_nodes as ast
+    from ..minic.ctypes import CFunc, CPointer
+    from ..minic.visitor import walk
+
+    facts: list[Fact] = []
+    for unit in program.units:
+        for node in walk(unit):
+            if isinstance(node, ast.FuncDef):
+                ftype = node.type.strip()
+                if not isinstance(ftype, CFunc):
+                    continue
+                for param in ftype.params:
+                    stripped = param.type.strip()
+                    if isinstance(stripped, CPointer) and stripped.annotations:
+                        facts.append(Fact(
+                            subject_kind="function",
+                            subject=f"{node.name}({param.name})",
+                            fact_kind="annotation",
+                            payload=str(stripped.annotations),
+                            tool=tool))
+    return facts

@@ -1,0 +1,60 @@
+"""Fact records for the shared annotation repository (§3.2).
+
+The paper proposes a collaborative database of source-code facts — pointer
+bounds, blocking behaviour, error codes — generated partly by hand and partly
+by the tools, so that different research groups can reuse each other's
+annotations.  A fact is a small, serialisable record with provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One piece of knowledge about a program entity."""
+
+    subject_kind: str       # "function", "type", "field", "global"
+    subject: str            # e.g. "kmalloc", "struct sk_buff.data"
+    fact_kind: str          # e.g. "annotation", "blocking", "bounds", "callgraph"
+    payload: str            # e.g. "count(len)", "blocking_if_wait"
+    tool: str = "manual"    # which tool (or person) produced it
+    confidence: float = 1.0
+    program: str = "mini-kernel"
+
+    def key(self) -> tuple[str, str, str]:
+        """Facts with the same key describe the same property."""
+        return (self.subject_kind, self.subject, self.fact_kind)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fact":
+        return cls(**data)
+
+
+@dataclass
+class FactSet:
+    """A queryable collection of facts."""
+
+    facts: list[Fact] = field(default_factory=list)
+
+    def add(self, fact: Fact) -> None:
+        self.facts.append(fact)
+
+    def about(self, subject: str) -> list[Fact]:
+        return [f for f in self.facts if f.subject == subject]
+
+    def of_kind(self, fact_kind: str) -> list[Fact]:
+        return [f for f in self.facts if f.fact_kind == fact_kind]
+
+    def by_tool(self, tool: str) -> list[Fact]:
+        return [f for f in self.facts if f.tool == tool]
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __iter__(self):
+        return iter(self.facts)

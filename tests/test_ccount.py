@@ -1,0 +1,207 @@
+"""Tests for CCount: instrumenter, runtime, delayed frees, reports."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ccount import (
+    CCountConfig,
+    build_conversion_report,
+    build_typeinfo,
+    delayed_free_scope,
+    instrument_program,
+)
+from repro.ccount import runtime as ccount_runtime
+from repro.machine import CheckFailure, Interpreter, link_units
+from repro.machine.memory import BLOCK_ALIGN
+from repro.minic import parse_source
+
+
+def build(source):
+    return link_units([parse_source(source)])
+
+
+def ccountize(source, **config):
+    program = build(source)
+    result = instrument_program(program, CCountConfig(**config))
+    interp = Interpreter(program)
+    runtime = ccount_runtime.install(interp, result.typeinfo, CCountConfig(**config))
+    return program, result, interp, runtime
+
+
+LIST_SOURCE = """
+struct node { int value; struct node *next; };
+static struct node *head;
+
+void push(int value) {
+    struct node *n = (struct node *)__raw_alloc(sizeof(struct node));
+    n->value = value;
+    n->next = head;
+    head = n;
+}
+
+int pop_and_free(void) {
+    struct node *n = head;
+    int value;
+    if (n == 0) { return -1; }
+    value = n->value;
+    head = n->next;
+    n->next = 0;
+    __raw_free((void *)n);
+    return value;
+}
+
+int bad_free_head(void) {
+    /* BUG: frees the head node while the global list still points at it. */
+    __raw_free((void *)head);
+    return 0;
+}
+"""
+
+
+class TestTypeInfo:
+    def test_pointer_offsets_extracted(self, kernel_program):
+        registry = build_typeinfo(kernel_program)
+        layout = registry.layout_for_tag("struct task_struct")
+        assert layout is not None
+        assert layout.has_pointers
+        assert len(layout.pointer_offsets) >= 4
+
+    def test_described_types_counted(self, kernel_program):
+        registry = build_typeinfo(kernel_program)
+        assert registry.described_types() >= 10
+
+
+class TestInstrumenter:
+    def test_heap_pointer_writes_instrumented(self):
+        program = build(LIST_SOURCE)
+        result = instrument_program(program, CCountConfig())
+        assert result.pointer_writes_instrumented >= 3
+
+    def test_local_pointer_writes_skipped_by_default(self):
+        source = "int f(int *p, int *q) { p = q; return 0; }"
+        program = build(source)
+        result = instrument_program(program, CCountConfig(track_locals=False))
+        assert result.pointer_writes_instrumented == 0
+        assert result.pointer_writes_skipped_local == 1
+
+    def test_local_pointer_writes_tracked_when_enabled(self):
+        source = "int f(int *p, int *q) { p = q; return 0; }"
+        program = build(source)
+        result = instrument_program(program, CCountConfig(track_locals=True))
+        assert result.pointer_writes_instrumented == 1
+
+    def test_integer_writes_untouched(self):
+        source = "static int g; void f(int x) { g = x; }"
+        program = build(source)
+        result = instrument_program(program, CCountConfig())
+        assert result.pointer_writes_instrumented == 0
+
+
+class TestRuntime:
+    def test_balanced_list_frees_are_good(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE)
+        for value in range(5):
+            interp.run("push", value)
+        for _ in range(5):
+            interp.run("pop_and_free")
+        assert runtime.stats.total_frees == 5
+        assert runtime.stats.bad_free_count == 0
+        assert runtime.stats.good_fraction == 1.0
+
+    def test_dangling_reference_detected_as_bad_free(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE)
+        interp.run("push", 1)
+        interp.run("bad_free_head")
+        assert runtime.stats.bad_free_count == 1
+        bad = runtime.stats.bad_frees[0]
+        assert bad.outstanding >= 1
+        assert bad.leaked  # soundness: the object is leaked, not released
+
+    def test_leaked_object_remains_accessible(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE)
+        interp.run("push", 7)
+        interp.run("bad_free_head")
+        # The head pointer still works because the bad free was converted
+        # into a leak rather than an actual release.
+        assert interp.run("pop_and_free").value == 7
+
+    def test_panic_mode_raises_on_bad_free(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE,
+                                                     panic_on_bad_free=True,
+                                                     leak_on_bad_free=False)
+        interp.run("push", 1)
+        with pytest.raises(CheckFailure):
+            interp.run("bad_free_head")
+
+    def test_allocation_zeroes_memory(self):
+        source = """
+        int probe(void) {
+            int *p = (int *)__raw_alloc(64);
+            return p[0] + p[15];
+        }
+        """
+        program, result, interp, runtime = ccountize(source)
+        assert interp.run("probe").value == 0
+
+    def test_refcounts_track_chunks(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE)
+        interp.run("push", 1)
+        head_addr = interp.memory.load(interp.global_address("head"), 4)
+        assert runtime.object_refcount(head_addr, 8) == 1
+
+    def test_delayed_free_scope_defers_checks(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE)
+        interp.run("push", 1)
+        head_addr = interp.memory.load(interp.global_address("head"), 4)
+        with delayed_free_scope(runtime):
+            interp.run("bad_free_head")
+            # Inside the scope nothing has been checked yet.
+            assert runtime.stats.total_frees == 0
+            # Clearing the global reference (through the RC runtime, as the
+            # instrumented kernel would) before the scope ends makes the
+            # deferred free succeed.
+            interp.memory.store(interp.global_address("head"), 4, 0)
+            runtime.rc_dec(head_addr)
+        assert runtime.stats.total_frees == 1
+        assert runtime.stats.bad_free_count == 0
+
+    def test_eight_bit_counters_wrap(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE)
+        interp.run("push", 1)
+        head_addr = interp.memory.load(interp.global_address("head"), 4)
+        for _ in range(255):
+            runtime.rc_inc(head_addr)
+        # 1 (list head) + 255 increments wraps the 8-bit counter to zero.
+        assert runtime.object_refcount(head_addr, 4) == 0
+
+    def test_overflow_check_option(self):
+        program, result, interp, runtime = ccountize(LIST_SOURCE, overflow_check=True)
+        interp.run("push", 1)
+        head_addr = interp.memory.load(interp.global_address("head"), 4)
+        with pytest.raises(CheckFailure):
+            for _ in range(256):
+                runtime.rc_inc(head_addr)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_push_pop_invariant(self, count):
+        program, result, interp, runtime = ccountize(LIST_SOURCE)
+        for value in range(count):
+            interp.run("push", value)
+        for _ in range(count):
+            interp.run("pop_and_free")
+        assert runtime.stats.total_frees == count
+        assert runtime.stats.good_frees == count
+        assert runtime.stats.rc_increments == runtime.stats.rc_decrements
+
+
+class TestConversionReportOnKernel:
+    def test_kernel_conversion_census(self, kernel_program):
+        import copy
+        program = copy.deepcopy(kernel_program)
+        result = instrument_program(program, CCountConfig())
+        report = build_conversion_report(program, result)
+        assert report.types_described >= 10
+        assert report.rtti_sites >= 5
+        assert report.delayed_scopes >= 2
+        assert report.pointer_writes_instrumented > 30

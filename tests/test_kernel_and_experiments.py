@@ -1,0 +1,192 @@
+"""Integration tests: the mini-kernel, workloads, hbench and the harness."""
+
+import pytest
+
+from repro.hbench import PAPER_TABLE1, TABLE1_ORDER, all_benchmarks, get_benchmark
+from repro.kernel import (
+    BuildConfig,
+    boot_kernel,
+    build_kernel,
+    corpus_line_count,
+    kernel_line_count,
+    workload_boot_to_login,
+    workload_fork,
+    workload_light_use,
+    workload_module_load,
+)
+
+
+class TestCorpusAndBuild:
+    def test_corpus_is_substantial(self):
+        assert kernel_line_count() > 1500
+        assert corpus_line_count() > kernel_line_count()
+
+    def test_baseline_build_links_cleanly(self, kernel_program):
+        names = kernel_program.defined_function_names()
+        for expected in ("kmalloc", "kfree", "do_fork", "schedule", "vfs_read",
+                         "udp_sendto", "do_IRQ", "load_module", "pipe_write"):
+            assert expected in names
+
+    def test_deputy_build_has_no_outstanding_errors(self):
+        build = build_kernel(BuildConfig(deputy=True))
+        assert build.deputy_result is not None
+        assert build.deputy_result.errors == []
+        assert build.deputy_result.checks_inserted > 100
+        assert build.deputy_result.checks_static > 50
+
+    def test_ccount_build_instruments_pointer_writes(self):
+        build = build_kernel(BuildConfig(ccount=True))
+        assert build.ccount_result.pointer_writes_instrumented > 30
+
+    def test_user_sources_are_not_instrumented(self):
+        build = build_kernel(BuildConfig(deputy=True))
+        user_unit = next(u for u in build.program.units if u.filename.startswith("user/"))
+        from repro.minic import ast_nodes as ast
+        from repro.minic.visitor import walk
+        for node in walk(user_unit):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Ident):
+                assert not node.func.name.startswith("__deputy_check")
+
+
+class TestBootAndWorkloads:
+    def test_baseline_kernel_boots(self, baseline_kernel):
+        assert baseline_kernel.booted
+        assert baseline_kernel.boot_cycles >= 0
+        assert int(baseline_kernel.call("current_pid").value) == 1
+
+    def test_boot_to_login_workload(self):
+        kernel = boot_kernel(BuildConfig(), boot=False)
+        result = workload_boot_to_login(kernel)
+        assert result.details["forks"] >= 6
+        assert result.details["loopback_packets"] >= 8
+        assert result.cycles > 0
+
+    def test_fork_workload_creates_tasks(self, baseline_kernel):
+        before = int(baseline_kernel.call("fork_count").value)
+        workload_fork(baseline_kernel, 3)
+        after = int(baseline_kernel.call("fork_count").value)
+        assert after - before == 3
+
+    def test_module_load_workload_is_balanced(self, baseline_kernel):
+        result = workload_module_load(baseline_kernel, 3)
+        assert result.details["modules_left"] == 0
+
+    def test_interrupt_delivery(self, baseline_kernel):
+        before = int(baseline_kernel.call("get_jiffies").value)
+        baseline_kernel.trigger_interrupt(0)
+        baseline_kernel.trigger_interrupt(0)
+        after = int(baseline_kernel.call("get_jiffies").value)
+        assert after - before == 2
+
+    def test_file_system_round_trip(self, baseline_kernel):
+        kernel = baseline_kernel
+        name = kernel.interp.intern_string("itest.txt")
+        data = kernel.interp.intern_string("hello vfs")
+        kernel.call("vfs_create", name, 1)
+        fd = int(kernel.call("vfs_open", name).value)
+        assert fd >= 0
+        assert int(kernel.call("vfs_write", fd, data, 9).value) == 9
+        kernel.call("vfs_seek", fd, 0)
+        out = kernel.interp.intern_string("x" * 16)
+        assert int(kernel.call("vfs_read", fd, out, 9).value) == 9
+        assert kernel.interp.memory.load_cstring(out)[:9] == "hello vfs"
+        kernel.call("vfs_close", fd)
+
+    def test_udp_round_trip(self, baseline_kernel):
+        kernel = baseline_kernel
+        a = int(kernel.call("sock_create", 17).value)
+        b = int(kernel.call("sock_create", 17).value)
+        kernel.call("sock_bind", a, 9101)
+        kernel.call("sock_bind", b, 9102)
+        msg = kernel.interp.intern_string("ping")
+        assert int(kernel.call("udp_sendto", a, msg, 4, 9102).value) == 4
+        out = kernel.interp.intern_string("....")
+        assert int(kernel.call("udp_recv", b, out, 4).value) == 4
+        kernel.call("sock_close", a)
+        kernel.call("sock_close", b)
+
+    def test_deputized_kernel_behaves_identically(self, deputy_kernel):
+        kernel = deputy_kernel
+        name = kernel.interp.intern_string("dep.txt")
+        data = kernel.interp.intern_string("deputized!")
+        kernel.call("vfs_create", name, 1)
+        fd = int(kernel.call("vfs_open", name).value)
+        assert int(kernel.call("vfs_write", fd, data, 10).value) == 10
+        kernel.call("vfs_close", fd)
+        assert kernel.deputy_stats.failures == 0
+        assert kernel.deputy_stats.checks_executed > 0
+
+    def test_ccount_kernel_light_use_keeps_frees_good(self):
+        kernel = boot_kernel(BuildConfig(ccount=True), boot=False)
+        workload_boot_to_login(kernel)
+        workload_light_use(kernel)
+        stats = kernel.ccount.stats
+        assert stats.total_frees > 10
+        assert stats.good_fraction >= 0.985
+
+
+class TestHbenchSuite:
+    def test_all_21_table1_benchmarks_registered(self):
+        names = {bench.name for bench in all_benchmarks()}
+        assert names == set(TABLE1_ORDER)
+        assert len(names) == 21
+        assert set(PAPER_TABLE1) == names
+
+    def test_benchmarks_are_deterministic(self, baseline_kernel):
+        bench = get_benchmark("lat_syscall")
+        first = bench.measure(baseline_kernel)
+        second = bench.measure(baseline_kernel)
+        assert first == second
+        assert first > 0
+
+    @pytest.mark.parametrize("name", ["bw_pipe", "lat_pipe", "lat_udp", "lat_fs",
+                                      "bw_file_rd", "lat_proc", "lat_syscall"])
+    def test_benchmark_runs_on_both_kernels(self, name, baseline_kernel, deputy_kernel):
+        bench = get_benchmark(name)
+        base = bench.measure(baseline_kernel)
+        dep = bench.measure(deputy_kernel)
+        assert base > 0 and dep > 0
+        # The deputized kernel never gets faster and never explodes.
+        assert dep >= base * 0.95
+        assert dep <= base * 3.0
+
+
+class TestHarnessShapes:
+    def test_deputy_conversion_shape(self):
+        from repro.harness import run_deputy_stats
+        result = run_deputy_stats()
+        assert result.shape_holds()
+        assert result.report.check_errors == 0
+
+    def test_ccount_stats_shape(self):
+        from repro.harness import run_ccount_stats
+        result = run_ccount_stats()
+        assert result.shape_holds()
+        assert result.boot_report.total_frees > 0
+
+    def test_blockstop_shape(self):
+        from repro.harness import run_blockstop_eval
+        result = run_blockstop_eval()
+        assert result.real_bugs_found == 2
+        assert len(result.false_positive_callees) >= 10
+        assert result.after.violations_reported == 2
+        assert result.shape_holds()
+
+    def test_ccount_overhead_shape(self):
+        from repro.harness import run_ccount_overheads
+        result = run_ccount_overheads(fork_iterations=8, module_iterations=5)
+        assert result.shape_holds()
+        assert result.row("fork", "smp").overhead > result.row("fork", "up").overhead
+
+    def test_table1_subset_shape(self):
+        # The full Table 1 lives in benchmarks/; here a three-benchmark subset
+        # checks the wiring end to end.
+        from repro.hbench import run_suite
+        from repro.kernel.build import BuildConfig
+        suite = run_suite(benchmarks=[get_benchmark("lat_syscall"),
+                                      get_benchmark("bw_pipe"),
+                                      get_benchmark("lat_pipe")])
+        assert len(suite.rows) == 3
+        for row in suite.rows:
+            assert row.baseline_cycles > 0
+            assert 0.5 <= row.relative <= 2.5

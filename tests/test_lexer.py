@@ -1,0 +1,134 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minic.errors import LexError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        token = tokenize("kmalloc")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "kmalloc"
+
+    def test_keyword(self):
+        token = tokenize("while")[0]
+        assert token.kind is TokenKind.KEYWORD
+
+    def test_annotation_keywords_are_identifiers(self):
+        # Deputy annotations are contextual keywords, not reserved words.
+        for word in ("count", "nullterm", "trusted", "blocking"):
+            assert tokenize(word)[0].kind is TokenKind.IDENT
+
+    def test_decimal_literal(self):
+        assert tokenize("42")[0].value == 42
+
+    def test_hex_literal(self):
+        assert tokenize("0xff")[0].value == 255
+
+    def test_octal_literal(self):
+        assert tokenize("0755")[0].value == 0o755
+
+    def test_integer_suffixes_ignored(self):
+        assert tokenize("42UL")[0].value == 42
+        assert tokenize("7ull")[0].value == 7
+
+    def test_char_literal(self):
+        assert tokenize("'a'")[0].value == ord("a")
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == ord("\n")
+        assert tokenize(r"'\0'")[0].value == 0
+
+    def test_string_literal(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind is TokenKind.STRING_LIT
+        assert token.value == "hello"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\tb\n"')[0].value == "a\tb\n"
+
+    def test_hex_escape_in_string(self):
+        assert tokenize(r'"\x41"')[0].value == "A"
+
+
+class TestPunctuators:
+    def test_multichar_punctuators_are_greedy(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("p->next") == ["p", "->", "next"]
+        assert texts("i++") == ["i", "++"]
+
+    def test_ellipsis(self):
+        assert "..." in texts("int printf(char *fmt, ...)")
+
+    def test_arithmetic_expression(self):
+        assert texts("a+b*c") == ["a", "+", "b", "*", "c"]
+
+    def test_comparison_operators(self):
+        assert texts("a<=b>=c==d!=e") == ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e"]
+
+
+class TestLocations:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.location.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.column == 4
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestPropertyBased:
+    @settings(deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_decimal_integers_round_trip(self, value):
+        assert tokenize(str(value))[0].value == value
+
+    @given(st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,20}", fullmatch=True))
+    def test_identifiers_lex_to_single_token(self, name):
+        tokens = tokenize(name)
+        assert len(tokens) == 2
+        assert tokens[0].text == name
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                          blacklist_characters='"\\'),
+                   max_size=40))
+    def test_string_literals_round_trip(self, body):
+        token = tokenize('"' + body + '"')[0]
+        assert token.kind is TokenKind.STRING_LIT
+        assert token.value == body

@@ -1,0 +1,330 @@
+"""Tests for the abstract machine: memory, values, interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    Interpreter,
+    MemoryFault,
+    Memory,
+    PanicError,
+    UndefinedSymbol,
+    chunk_range,
+    link_units,
+)
+from repro.machine.cycles import CostModel, CycleCounter
+from repro.machine.values import convert
+from repro.minic import parse_source
+from repro.minic.ctypes import CInt, INT, UINT, pointer_to
+
+
+def run_program(source, entry="main", *args):
+    program = link_units([parse_source(source)])
+    interp = Interpreter(program)
+    return interp, interp.run(entry, *args)
+
+
+class TestMemory:
+    def test_alloc_and_rw(self):
+        memory = Memory()
+        block = memory.alloc(64)
+        memory.store(block.base, 4, 0xDEADBEEF)
+        assert memory.load(block.base, 4) == 0xDEADBEEF
+
+    def test_signed_load(self):
+        memory = Memory()
+        block = memory.alloc(4)
+        memory.store(block.base, 4, 0xFFFFFFFF)
+        assert memory.load(block.base, 4, signed=True) == -1
+
+    def test_blocks_do_not_overlap(self):
+        memory = Memory()
+        blocks = [memory.alloc(24) for _ in range(20)]
+        for first, second in zip(blocks, blocks[1:]):
+            assert first.end <= second.base
+
+    def test_null_dereference_faults(self):
+        memory = Memory()
+        with pytest.raises(MemoryFault):
+            memory.load(0, 4)
+
+    def test_out_of_bounds_faults(self):
+        memory = Memory()
+        block = memory.alloc(8)
+        with pytest.raises(MemoryFault):
+            memory.load(block.base + 6, 4)
+
+    def test_use_after_free_faults(self):
+        memory = Memory()
+        block = memory.alloc(16)
+        memory.free(block)
+        with pytest.raises(MemoryFault):
+            memory.store(block.base, 4, 1)
+
+    def test_double_free_faults(self):
+        memory = Memory()
+        block = memory.alloc(16)
+        memory.free(block)
+        with pytest.raises(MemoryFault):
+            memory.free(block)
+
+    def test_interior_free_faults(self):
+        memory = Memory()
+        block = memory.alloc(32)
+        with pytest.raises(MemoryFault):
+            memory.free_addr(block.base + 8)
+
+    def test_cstring_round_trip(self):
+        memory = Memory()
+        block = memory.alloc(32)
+        memory.store_bytes(block.base, b"hello\0")
+        assert memory.load_cstring(block.base) == "hello"
+
+    def test_memcpy_and_memset(self):
+        memory = Memory()
+        a = memory.alloc(16)
+        b = memory.alloc(16)
+        memory.memset(a.base, 0x41, 8)
+        memory.memcpy(b.base, a.base, 8)
+        assert memory.load_bytes(b.base, 8) == b"A" * 8
+
+    def test_chunk_range_covers_object(self):
+        chunks = list(chunk_range(0x10000, 40))
+        assert len(chunks) == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=256), min_size=1, max_size=30))
+    def test_find_block_is_consistent(self, sizes):
+        memory = Memory()
+        blocks = [memory.alloc(size) for size in sizes]
+        for block in blocks:
+            assert memory.find_block(block.base) is block
+            assert memory.find_block(block.end - 1) is block
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=128), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_store_load_round_trip(self, size, value):
+        memory = Memory()
+        block = memory.alloc(8)
+        memory.store(block.base, 4, value)
+        assert memory.load(block.base, 4) == value & 0xFFFFFFFF
+
+
+class TestValuesAndCycles:
+    def test_convert_wraps_integers(self):
+        assert convert(300, CInt("char", signed=False)) == 44
+        assert convert(-1, UINT) == 0xFFFFFFFF
+
+    def test_convert_pointer_masks_to_32_bits(self):
+        assert convert(2**40 + 5, pointer_to(INT)) == 5
+
+    def test_cycle_counter_charges_by_category(self):
+        counter = CycleCounter(model=CostModel())
+        counter.charge("load", times=3)
+        counter.charge("store")
+        assert counter.cycles == 3 * CostModel().load + CostModel().store
+        assert counter.counts["load"] == 3
+
+    def test_smp_rc_cost_is_higher(self):
+        assert CostModel(smp=True).rc_cost() > CostModel(smp=False).rc_cost()
+
+
+class TestInterpreter:
+    def test_arithmetic_and_locals(self):
+        _, result = run_program("int main(void) { int a = 6; int b = 7; return a * b; }")
+        assert result.value == 42
+
+    def test_global_initialization(self):
+        _, result = run_program("int base = 10; int main(void) { return base + 1; }")
+        assert result.value == 11
+
+    def test_array_sum(self):
+        src = """
+        int main(void) {
+            int t[5];
+            int i;
+            int total = 0;
+            for (i = 0; i < 5; i++) { t[i] = i * i; }
+            for (i = 0; i < 5; i++) { total += t[i]; }
+            return total;
+        }
+        """
+        _, result = run_program(src)
+        assert result.value == 30
+
+    def test_pointer_arithmetic(self):
+        src = """
+        int main(void) {
+            int t[4];
+            int *p = t;
+            t[0] = 1; t[1] = 2; t[2] = 3; t[3] = 4;
+            p = p + 2;
+            return *p + p[1];
+        }
+        """
+        _, result = run_program(src)
+        assert result.value == 7
+
+    def test_struct_member_access_and_copy(self):
+        src = """
+        struct point { int x; int y; };
+        int main(void) {
+            struct point a;
+            struct point b;
+            a.x = 3; a.y = 4;
+            b = a;
+            return b.x * 10 + b.y;
+        }
+        """
+        _, result = run_program(src)
+        assert result.value == 34
+
+    def test_linked_list_on_heap(self):
+        src = """
+        struct node { int value; struct node *next; };
+        int main(void) {
+            struct node *head = 0;
+            struct node *n;
+            int i;
+            int total = 0;
+            for (i = 1; i <= 4; i++) {
+                n = (struct node *)__raw_alloc(sizeof(struct node));
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            for (n = head; n != 0; n = n->next) { total += n->value; }
+            return total;
+        }
+        """
+        _, result = run_program(src)
+        assert result.value == 10
+
+    def test_function_pointers_in_struct(self):
+        src = """
+        int add(int a, int b) { return a + b; }
+        int mul(int a, int b) { return a * b; }
+        struct ops { int (*f)(int, int); };
+        static struct ops table[2] = { { .f = add }, { .f = mul } };
+        int main(void) { return table[0].f(2, 3) + table[1].f(2, 3); }
+        """
+        _, result = run_program(src)
+        assert result.value == 11
+
+    def test_recursion(self):
+        src = "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+        _, result = run_program(src + " int main(void) { return fib(10); }")
+        assert result.value == 55
+
+    def test_goto_cleanup_pattern(self):
+        src = """
+        int main(void) {
+            int rc = 5;
+            if (rc > 0) { goto out; }
+            rc = 100;
+        out:
+            return rc + 1;
+        }
+        """
+        _, result = run_program(src)
+        assert result.value == 6
+
+    def test_switch_fallthrough(self):
+        src = """
+        int classify(int x) {
+            int r = 0;
+            switch (x) {
+            case 1:
+            case 2: r = 10; break;
+            case 3: r = 20; break;
+            default: r = -1; break;
+            }
+            return r;
+        }
+        int main(void) { return classify(2) + classify(3) + classify(9); }
+        """
+        _, result = run_program(src)
+        assert result.value == 29
+
+    def test_string_literal_and_strlen(self):
+        src = 'int main(void) { return (int)strlen("kernel"); }'
+        _, result = run_program(src)
+        assert result.value == 6
+
+    def test_printk_formats_output(self):
+        src = 'int main(void) { printk("pid=%d name=%s\\n", 7, "init"); return 0; }'
+        interp, _ = run_program(src)
+        assert interp.console_text() == "pid=7 name=init\n"
+
+    def test_panic_raises(self):
+        with pytest.raises(PanicError):
+            run_program('int main(void) { panic("boom"); return 0; }')
+
+    def test_undefined_function_call(self):
+        with pytest.raises(UndefinedSymbol):
+            run_program("int main(void) { return missing(); }")
+
+    def test_wild_pointer_faults(self):
+        src = "int main(void) { int *p = (int *)12345; return *p; }"
+        with pytest.raises(MemoryFault):
+            run_program(src)
+
+    def test_stack_buffer_overflow_faults(self):
+        src = """
+        int main(void) {
+            int small[2];
+            small[0] = 1;
+            small[5] = 9;
+            return small[0];
+        }
+        """
+        with pytest.raises(MemoryFault):
+            run_program(src)
+
+    def test_division_semantics(self):
+        src = "int main(void) { return (-7) / 2 * 100 + (-7) % 2; }"
+        _, result = run_program(src)
+        assert result.value == -301
+
+    def test_irq_flag_builtins(self):
+        src = """
+        int main(void) {
+            int before = __hw_irqs_disabled();
+            __hw_cli();
+            int during = __hw_irqs_disabled();
+            __hw_sti();
+            return before * 10 + during;
+        }
+        """
+        _, result = run_program(src)
+        assert result.value == 1
+
+    def test_cycle_accounting_is_deterministic(self):
+        src = "int main(void) { int i; int t = 0; for (i = 0; i < 50; i++) { t += i; } return t; }"
+        _, first = run_program(src)
+        interp_a, _ = run_program(src)
+        interp_b, _ = run_program(src)
+        assert interp_a.counter.cycles == interp_b.counter.cycles
+        assert interp_a.counter.cycles > 0
+
+
+class TestLinking:
+    def test_prototype_annotations_merge_into_definition(self):
+        from repro.annotations import AnnotationKind
+        unit_a = parse_source("void schedule(void) blocking;")
+        unit_b = parse_source("void schedule(void) { }")
+        program = link_units([unit_a, unit_b])
+        assert program.function_annotations("schedule").has(AnnotationKind.BLOCKING)
+
+    def test_duplicate_definition_rejected(self):
+        from repro.minic.errors import SemanticError
+        unit_a = parse_source("int f(void) { return 1; }")
+        unit_b = parse_source("int f(void) { return 2; }")
+        with pytest.raises(SemanticError):
+            link_units([unit_a, unit_b])
+
+    def test_cross_unit_calls(self):
+        shared = parse_source("int helper(int x) { return x * 2; }")
+        main = parse_source("int helper(int x); int main(void) { return helper(21); }")
+        program = link_units([shared, main])
+        assert Interpreter(program).run("main").value == 42

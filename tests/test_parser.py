@@ -1,0 +1,254 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.annotations import AnnotationKind
+from repro.minic import ast, parse_expression, parse_source
+from repro.minic.ctypes import CArray, CFunc, CInt, CPointer, CStruct
+from repro.minic.errors import ParseError
+from repro.minic.parser import evaluate_constant
+
+
+def parse_one(src):
+    unit = parse_source(src)
+    assert len(unit.decls) >= 1
+    return unit.decls[0]
+
+
+class TestDeclarations:
+    def test_global_int(self):
+        decl = parse_one("int counter;")
+        assert isinstance(decl, ast.Declaration)
+        assert isinstance(decl.type, CInt)
+
+    def test_pointer_declaration(self):
+        decl = parse_one("char *name;")
+        assert isinstance(decl.type, CPointer)
+
+    def test_array_declaration(self):
+        decl = parse_one("int table[16];")
+        assert isinstance(decl.type, CArray)
+        assert decl.type.length == 16
+
+    def test_array_size_constant_expression(self):
+        decl = parse_one("int table[4 * 8];")
+        assert decl.type.length == 32
+
+    def test_static_storage(self):
+        decl = parse_one("static int x;")
+        assert decl.storage == "static"
+
+    def test_typedef_registers_name(self):
+        unit = parse_source("typedef unsigned int u32; u32 value;")
+        value_decl = unit.decls[1]
+        assert value_decl.type.strip().is_integer()
+
+    def test_multiple_declarators(self):
+        unit = parse_source("int a, b, c;")
+        assert [d.name for d in unit.decls] == ["a", "b", "c"]
+
+    def test_initializer_list_with_designators(self):
+        decl = parse_one("struct point { int x; int y; };")
+        unit = parse_source(
+            "struct point { int x; int y; };"
+            "struct point origin = { .x = 1, .y = 2 };")
+        init = unit.decls[1].init
+        assert init.is_list
+        assert init.field_names == ["x", "y"]
+
+
+class TestStructsAndEnums:
+    def test_struct_definition(self):
+        decl = parse_one("struct pair { int first; int second; };")
+        struct = decl.ctype
+        assert isinstance(struct, CStruct)
+        assert struct.complete
+        assert [f.name for f in struct.fields] == ["first", "second"]
+
+    def test_self_referential_struct(self):
+        decl = parse_one("struct node { int v; struct node *next; };")
+        next_field = decl.ctype.field_named("next")
+        assert isinstance(next_field.type, CPointer)
+
+    def test_union(self):
+        decl = parse_one("union value { int i; char c; };")
+        assert decl.ctype.is_union
+
+    def test_enum_values(self):
+        unit = parse_source("enum state { IDLE, RUNNING = 5, DONE };")
+        enum = unit.decls[0].ctype
+        assert enum.members == {"IDLE": 0, "RUNNING": 5, "DONE": 6}
+
+    def test_enum_constant_folded_in_expressions(self):
+        unit = parse_source("enum state { GO = 3 }; int x = GO + 1;")
+        init = unit.decls[1].init
+        assert evaluate_constant(init.expr) == 4
+
+
+class TestFunctions:
+    def test_function_definition(self):
+        func = parse_one("int add(int a, int b) { return a + b; }")
+        assert isinstance(func, ast.FuncDef)
+        ftype = func.type
+        assert isinstance(ftype, CFunc)
+        assert [p.name for p in ftype.params] == ["a", "b"]
+
+    def test_void_parameter_list(self):
+        func = parse_one("void init(void) { }")
+        assert func.type.params == []
+
+    def test_varargs_prototype(self):
+        decl = parse_one("int printk(char *fmt, ...);")
+        assert decl.type.strip().varargs
+
+    def test_function_pointer_declarator(self):
+        decl = parse_one("int (*handler)(int irq, void *dev);")
+        pointer = decl.type
+        assert isinstance(pointer, CPointer)
+        assert isinstance(pointer.target, CFunc)
+
+    def test_function_pointer_struct_field(self):
+        decl = parse_one(
+            "struct ops { int (*open)(int fd); int (*close)(int fd); };")
+        field = decl.ctype.field_named("open")
+        assert isinstance(field.type.strip(), CPointer)
+
+    def test_array_parameter_decays_to_pointer(self):
+        func = parse_one("int sum(int values[], int n) { return n; }")
+        assert isinstance(func.type.params[0].type, CPointer)
+
+
+class TestAnnotations:
+    def test_count_annotation_on_pointer(self):
+        func = parse_one("int sum(int * count(n) buf, int n) { return 0; }")
+        pointer = func.type.params[0].type
+        annotation = pointer.annotations.get(AnnotationKind.COUNT)
+        assert annotation is not None
+        assert isinstance(annotation.args[0], ast.Ident)
+
+    def test_nullterm_annotation(self):
+        func = parse_one("int slen(char * nullterm s) { return 0; }")
+        assert func.type.params[0].type.annotations.has(AnnotationKind.NULLTERM)
+
+    def test_trailing_blocking_annotation(self):
+        decl = parse_one("void schedule(void) blocking;")
+        assert decl.annotations.has(AnnotationKind.BLOCKING)
+
+    def test_blocking_if_wait(self):
+        decl = parse_one("void *kmalloc(unsigned int size, int flags) blocking_if_wait;")
+        assert decl.annotations.has(AnnotationKind.BLOCKING_IF_WAIT)
+
+    def test_trusted_block_statement(self):
+        func = parse_one("int f(void) { trusted { return 1; } }")
+        assert isinstance(func.body.stmts[0], ast.Block)
+        assert func.body.stmts[0].trusted
+
+    def test_trusted_cast(self):
+        func = parse_one(
+            "struct list_head { struct list_head *next; };"
+            "struct task { struct list_head run; int pid; };")
+        unit = parse_source(
+            "struct list_head { struct list_head *next; };"
+            "struct task { struct list_head run; int pid; };"
+            "struct task *conv(struct list_head *e) {"
+            "    return (struct task * trusted)e;"
+            "}")
+        ret = unit.decls[-1].body.stmts[0]
+        assert isinstance(ret.value, ast.Cast)
+        assert ret.value.trusted
+
+    def test_plain_variable_named_like_annotation_keyword(self):
+        # "int * nullterm;" declares a variable called nullterm.
+        decl = parse_one("int * nullterm;")
+        assert decl.name == "nullterm"
+
+
+class TestStatements:
+    def test_if_else(self):
+        func = parse_one("int f(int x) { if (x) { return 1; } else { return 2; } }")
+        assert isinstance(func.body.stmts[0], ast.If)
+
+    def test_for_loop(self):
+        func = parse_one("int f(void) { int i; for (i = 0; i < 4; i++) { } return i; }")
+        assert any(isinstance(s, ast.For) for s in func.body.stmts)
+
+    def test_while_and_do_while(self):
+        func = parse_one("void f(int n) { while (n) { n--; } do { n++; } while (n < 3); }")
+        kinds = [type(s).__name__ for s in func.body.stmts]
+        assert "While" in kinds and "DoWhile" in kinds
+
+    def test_switch_cases(self):
+        func = parse_one(
+            "int f(int x) { switch (x) { case 1: return 1; default: return 0; } }")
+        switch = func.body.stmts[0]
+        assert len(switch.cases) == 2
+        assert switch.cases[1].value is None
+
+    def test_goto_and_label(self):
+        func = parse_one("int f(void) { goto out; out: return 3; }")
+        assert isinstance(func.body.stmts[0], ast.Goto)
+        assert isinstance(func.body.stmts[1], ast.Label)
+
+    def test_asm_statement(self):
+        func = parse_one('void f(void) { asm("cli"); }')
+        assert isinstance(func.body.stmts[0], ast.Asm)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert evaluate_constant(expr) == 7
+
+    def test_parentheses(self):
+        assert evaluate_constant(parse_expression("(1 + 2) * 3")) == 9
+
+    def test_ternary(self):
+        assert evaluate_constant(parse_expression("1 ? 10 : 20")) == 10
+
+    def test_bitwise_and_shift(self):
+        assert evaluate_constant(parse_expression("(1 << 4) | 3")) == 19
+
+    def test_unary_operators(self):
+        assert evaluate_constant(parse_expression("-(3) + ~0 + !5")) == -4
+
+    def test_member_and_index_chain(self):
+        expr = parse_expression("table[i]->field.next")
+        assert isinstance(expr, ast.Member)
+        assert not expr.arrow
+
+    def test_call_with_arguments(self):
+        expr = parse_expression("kmalloc(sizeof(x), 1)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_assignment_expression(self):
+        expr = parse_expression("a = b = 3")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expression("total += 4")
+        assert expr.op == "+="
+
+    def test_comma_operator(self):
+        expr = parse_expression("(a, b, c)")
+        assert isinstance(expr, ast.Comma)
+        assert len(expr.exprs) == 3
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("int x")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse_source("int f(void) { return 0;")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + * 2 +")
+
+    def test_non_constant_array_size(self):
+        with pytest.raises(ParseError):
+            parse_source("int f(int n) { int a[n * m]; return 0; }")
