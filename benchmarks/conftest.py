@@ -15,6 +15,5 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+# ``run_once`` lives in repro.benchutil so benchmark modules can import it
+# under --import-mode=importlib (this directory is not on sys.path there).

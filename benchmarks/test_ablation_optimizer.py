@@ -5,7 +5,7 @@ measures how many run-time checks it removes and what that is worth on a
 latency-sensitive benchmark.
 """
 
-from conftest import run_once
+from repro.benchutil import run_once
 from repro.deputy import DeputyOptions
 from repro.harness import run_deputy_stats
 from repro.hbench import get_benchmark

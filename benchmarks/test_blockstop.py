@@ -8,7 +8,7 @@ of run-time checks that silences every false positive while both real bugs
 stay reported.
 """
 
-from conftest import run_once
+from repro.benchutil import run_once
 from repro.harness import PAPER_BLOCKSTOP, SEEDED_BUG_CALLERS, run_blockstop_eval
 
 

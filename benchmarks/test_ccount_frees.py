@@ -7,7 +7,7 @@ at or above 98.5% good frees, with the conversion census (type layouts, RTTI
 sites, delayed free scopes, null-out fixes) reported alongside.
 """
 
-from conftest import run_once
+from repro.benchutil import run_once
 from repro.harness import PAPER_CCOUNT_STATS, run_ccount_stats
 
 

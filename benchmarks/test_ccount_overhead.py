@@ -7,9 +7,8 @@ and the rough magnitudes, plus the A2 ablation sweeping the locked-operation
 cost.
 """
 
-from conftest import run_once
+from repro.benchutil import run_once
 from repro.harness import (
-    PAPER_CCOUNT_OVERHEADS,
     run_ccount_overheads,
     run_locked_cost_sweep,
 )

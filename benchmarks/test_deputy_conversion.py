@@ -6,7 +6,7 @@ and trusted code stay a small fraction of the converted kernel, and the
 conversion leaves no outstanding static errors.
 """
 
-from conftest import run_once
+from repro.benchutil import run_once
 from repro.harness import PAPER_DEPUTY_STATS, run_deputy_stats
 
 

@@ -5,7 +5,7 @@ error-code checking).  This benchmark runs all three over the corpus and
 checks the properties they establish.
 """
 
-from conftest import run_once
+from repro.benchutil import run_once
 from repro.analyses import analyse_error_checks, analyse_locks, analyse_stack
 from repro.blockstop import build_direct_callgraph, run_blockstop
 from repro.kernel.build import parse_corpus

@@ -8,9 +8,8 @@ relative latency).
 
 import pytest
 
-from conftest import run_once
+from repro.benchutil import run_once
 from repro.harness import run_table1
-from repro.hbench import PAPER_TABLE1
 
 
 @pytest.fixture(scope="module")

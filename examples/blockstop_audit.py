@@ -12,23 +12,16 @@ annotation repository (§3.2).
 Run with:  python examples/blockstop_audit.py
 """
 
-from repro.blockstop import (
-    Precision,
-    build_direct_callgraph,
-    collect_seeds,
-    emit_annotations,
-    propagate_blocking,
-    propagate_over_graph,
-)
+from repro.blockstop import emit_annotations
+from repro.engine import AnalysisEngine
 from repro.harness import SEEDED_BUG_CALLERS, run_blockstop_eval
-from repro.kernel.build import parse_corpus
-from repro.kernel.corpus import KERNEL_FILES
 from repro.repository import AnnotationDatabase, export_blocking_facts
 
 
 def main() -> None:
     print("Running BlockStop (type-based points-to, no manual checks)...")
-    result = run_blockstop_eval()
+    engine = AnalysisEngine()
+    result = run_blockstop_eval(engine=engine)
     print()
     print(result.before)
     print()
@@ -57,15 +50,16 @@ def main() -> None:
     print()
 
     print("-- exporting inferred annotations to the shared repository --")
-    program = parse_corpus(KERNEL_FILES)
-    graph, _ = build_direct_callgraph(program)
-    info = propagate_blocking(program, graph, collect_seeds(program))
-    propagate_over_graph(graph, info)
+    # The engine already derived the call graph and blocking summary for the
+    # eval runs above; the export reuses them instead of re-deriving.
+    shared = engine.artifacts()
+    graph, info = shared.graph, shared.blocking
     database = AnnotationDatabase()
     database.add_all(export_blocking_facts(info, graph))
     print(f"{len(database)} blocking facts exported; e.g.:")
-    for name in sorted(emit_annotations(info, graph))[:8]:
-        print(f"  {name}: {emit_annotations(info, graph)[name]}")
+    annotations = emit_annotations(info, graph)
+    for name in sorted(annotations)[:8]:
+        print(f"  {name}: {annotations[name]}")
     database.save("blockstop_annotations.json")
     print("saved to blockstop_annotations.json")
 

@@ -9,7 +9,6 @@ workloads (uniprocessor vs. SMP).
 Run with:  python examples/ccount_audit.py
 """
 
-from repro.ccount import build_run_report
 from repro.harness import run_ccount_overheads, run_ccount_stats
 
 

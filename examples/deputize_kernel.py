@@ -11,23 +11,33 @@ Run with:  python examples/deputize_kernel.py
 """
 
 from repro.deputy import DeputyOptions
+from repro.engine import AnalysisEngine
 from repro.harness import run_deputy_stats
 from repro.hbench import get_benchmark
 from repro.kernel.boot import boot_kernel
-from repro.kernel.build import BuildConfig
+from repro.kernel.build import BuildConfig, build_kernel
 
 BENCHMARKS = ("lat_syscall", "lat_pipe", "lat_udp", "bw_pipe", "bw_file_rd")
 
 
 def main() -> None:
     print("Converting the mini-kernel with Deputy...")
-    stats = run_deputy_stats(DeputyOptions())
+    engine = AnalysisEngine()
+    stats = run_deputy_stats(DeputyOptions(), engine=engine)
     print(stats.report)
     print()
 
-    print("Booting baseline and deputized kernels...")
-    baseline = boot_kernel(BuildConfig(), reset_cycles_after_boot=True)
-    deputized = boot_kernel(BuildConfig(deputy=True), reset_cycles_after_boot=True)
+    print("Booting baseline and deputized kernels (from the engine's cached parse)...")
+    baseline_config = BuildConfig()
+    deputy_config = BuildConfig(deputy=True)
+    baseline = boot_kernel(
+        build=build_kernel(baseline_config,
+                           base_program=engine.fresh_kernel_program(baseline_config)),
+        reset_cycles_after_boot=True)
+    deputized = boot_kernel(
+        build=build_kernel(deputy_config,
+                           base_program=engine.fresh_kernel_program(deputy_config)),
+        reset_cycles_after_boot=True)
     print(f"baseline boot : {baseline.boot_cycles} cycles")
     print(f"deputized boot: {deputized.boot_cycles} cycles "
           f"({deputized.deputy_stats.checks_executed} checks executed, "

@@ -18,6 +18,8 @@ from repro.ccount import instrument_program as ccount_instrument
 from repro.ccount import runtime as ccount_runtime
 from repro.deputy import DeputyOptions, instrument_program
 from repro.deputy import runtime as deputy_runtime
+from repro.engine import AnalysisEngine
+from repro.kernel.corpus import CorpusFile
 from repro.machine import CheckFailure, Interpreter, link_units
 from repro.minic import parse_source
 
@@ -111,6 +113,15 @@ def main() -> None:
     for violation in blockstop.reported:
         print(violation.describe())
     print(f"functions that may block: {sorted(blockstop.blocking.may_block)}")
+
+    banner("4. The unified engine: every analysis, one parse")
+    engine = AnalysisEngine(files=(CorpusFile("driver.c", DRIVER_SOURCE),))
+    report = engine.run(analyses="all")
+    for name, analysis in sorted(report.analyses.items()):
+        print(f"{name:>10}: {len(analysis.findings)} finding(s)")
+    for finding in report.all_findings():
+        where = f"{finding['file']}:{finding['line']}" if finding["file"] else "-"
+        print(f"  {where} [{finding['analysis']}/{finding['kind']}] {finding['message']}")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ A reproduction of "Beyond Bug-Finding: Sound Program Analysis for Linux"
   and in-text evaluation numbers.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "minic", "annotations", "machine", "deputy", "ccount", "blockstop",

@@ -1,11 +1,24 @@
 """The paper's proposed future analyses (§3.1): locks, stack depth, error codes."""
 
-from .errcheck import ErrcheckReport, UncheckedCall, analyse_error_checks
-from .lockcheck import LockAcquisition, LockReport, analyse_locks
+from .errcheck import (
+    ErrcheckReport,
+    UncheckedCall,
+    analyse_error_checks,
+    find_error_returning_functions,
+)
+from .lockcheck import (
+    LockAcquisition,
+    LockReport,
+    analyse_locks,
+    collect_acquisitions,
+    derive_report,
+)
 from .stackcheck import KERNEL_STACK_BYTES, StackReport, analyse_stack, frame_size
 
 __all__ = [
     "ErrcheckReport", "UncheckedCall", "analyse_error_checks",
+    "find_error_returning_functions",
     "LockAcquisition", "LockReport", "analyse_locks",
+    "collect_acquisitions", "derive_report",
     "KERNEL_STACK_BYTES", "StackReport", "analyse_stack", "frame_size",
 ]

@@ -58,11 +58,19 @@ def find_error_returning_functions(program: Program) -> set[str]:
     return result
 
 
-def analyse_error_checks(program: Program) -> ErrcheckReport:
-    """Check that error-returning calls have their results examined."""
+def analyse_error_checks(program: Program,
+                         error_returning: set[str] | None = None,
+                         functions: list[str] | None = None) -> ErrcheckReport:
+    """Check that error-returning calls have their results examined.
+
+    ``error_returning`` may be supplied pre-built (it is a whole-program
+    artifact the engine shares); ``functions`` restricts the scan to a subset
+    of defined functions so the engine can shard by translation unit.
+    """
     report = ErrcheckReport()
-    report.error_returning = find_error_returning_functions(program)
-    for caller, func in program.functions.items():
+    report.error_returning = (error_returning if error_returning is not None
+                              else find_error_returning_functions(program))
+    for caller, func in program.functions_subset(functions):
         _scan_function(report, program, caller, func)
     return report
 

@@ -54,12 +54,15 @@ def _lock_name(expr: ast.Expr) -> str:
     return render_expression(expr)
 
 
-def analyse_locks(program: Program,
-                  irq_functions: set[str] | None = None) -> LockReport:
-    """Run the lock-safety analysis over every function of ``program``."""
-    report = LockReport()
-    irq_functions = irq_functions or set()
-    for name, func in program.functions.items():
+def collect_acquisitions(program: Program,
+                         functions: list[str] | None = None) -> list[LockAcquisition]:
+    """Collect every lock acquisition, with the locks held at that point.
+
+    Purely per-function work: ``functions`` restricts the scan so the engine
+    can shard it by translation unit and concatenate the shard results.
+    """
+    acquisitions: list[LockAcquisition] = []
+    for name, func in program.functions_subset(functions):
         held: list[str] = []
         for node in walk(func.body):
             if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
@@ -67,21 +70,30 @@ def analyse_locks(program: Program,
             callee = node.func.name
             if callee in ACQUIRE_CALLS and node.args:
                 lock = _lock_name(node.args[0])
-                acquisition = LockAcquisition(
+                acquisitions.append(LockAcquisition(
                     function=name, lock=lock,
                     irqsave=ACQUIRE_CALLS[callee],
-                    held_before=tuple(held))
-                report.acquisitions.append(acquisition)
-                for earlier in held:
-                    if earlier != lock:
-                        report.order_pairs.add((earlier, lock))
+                    held_before=tuple(held)))
                 held.append(lock)
-                if name in irq_functions:
-                    report.irq_context_locks.add(lock)
             elif callee in RELEASE_CALLS and node.args:
                 lock = _lock_name(node.args[0])
                 if lock in held:
                     held.remove(lock)
+    return acquisitions
+
+
+def derive_report(acquisitions: list[LockAcquisition],
+                  irq_functions: set[str] | None = None) -> LockReport:
+    """Derive the program-wide lock report from collected acquisitions."""
+    report = LockReport()
+    irq_functions = irq_functions or set()
+    report.acquisitions = list(acquisitions)
+    for acquisition in report.acquisitions:
+        for earlier in acquisition.held_before:
+            if earlier != acquisition.lock:
+                report.order_pairs.add((earlier, acquisition.lock))
+        if acquisition.function in irq_functions:
+            report.irq_context_locks.add(acquisition.lock)
     # Inconsistent ordering: both (A, B) and (B, A) observed.
     for first, second in sorted(report.order_pairs):
         if (second, first) in report.order_pairs and (second, first) > (first, second):
@@ -94,3 +106,9 @@ def analyse_locks(program: Program,
                 and acquisition.function not in irq_functions):
             report.irq_violations.append(acquisition)
     return report
+
+
+def analyse_locks(program: Program,
+                  irq_functions: set[str] | None = None) -> LockReport:
+    """Run the lock-safety analysis over every function of ``program``."""
+    return derive_report(collect_acquisitions(program), irq_functions)

@@ -1,0 +1,19 @@
+"""Helpers for the pytest-benchmark suite in ``benchmarks/``.
+
+Lives inside the package (rather than the benchmark conftest) so the
+benchmark modules can import it under any pytest import mode —
+``--import-mode=importlib`` does not put the benchmarks directory on
+``sys.path``.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The abstract machine is deterministic, so a single round per benchmark is
+    enough — repeated rounds would measure the Python interpreter, not the
+    simulated kernel.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -15,6 +15,7 @@ from .checker import (
     BlockStopChecker,
     BlockStopResult,
     Violation,
+    find_irq_handlers,
     run_blockstop,
 )
 from .pointsto import FunctionPointerAnalysis, PointsToResult, Precision
@@ -32,7 +33,7 @@ __all__ = [
     "emit_annotations", "propagate_blocking", "propagate_over_graph",
     "CallGraph", "CallSite", "IndirectCall", "build_direct_callgraph",
     "AtomicCallSite", "BlockStopChecker", "BlockStopResult", "Violation",
-    "run_blockstop",
+    "find_irq_handlers", "run_blockstop",
     "FunctionPointerAnalysis", "PointsToResult", "Precision",
     "BlockStopReport", "build_report",
     "ASSERT_BUILTIN", "BlockStopRuntimeStats", "RuntimeCheckSet",

@@ -100,50 +100,71 @@ class BlockStopResult:
         return [v for v in self.violations if v.silenced_by_check]
 
 
+def find_irq_handlers(program: Program) -> set[str]:
+    """Functions registered as interrupt handlers (run in IRQ context).
+
+    Shared artifact: BlockStop seeds its atomic-region scan with these, and
+    lockcheck uses them as its set of interrupt-context functions.
+    """
+    handlers: set[str] = set()
+    for unit in program.units:
+        for decl in unit.decls:
+            if not isinstance(decl, ast.FuncDef):
+                continue
+            for node in walk(decl.body):
+                if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
+                        and node.func.name in IRQ_HANDLER_REGISTRATION):
+                    for arg in node.args:
+                        name = _function_name_of(arg, program)
+                        if name is not None:
+                            handlers.add(name)
+    return handlers
+
+
 class BlockStopChecker:
-    """Run the whole BlockStop pipeline over a program."""
+    """Run the whole BlockStop pipeline over a program.
+
+    The call graph, blocking summary and interrupt-handler set can either be
+    derived from scratch (the standalone entry point) or supplied pre-built by
+    :class:`repro.engine.AnalysisEngine`, which shares them between analyses.
+    """
 
     def __init__(self, program: Program,
                  precision: Precision = Precision.TYPE_BASED,
-                 runtime_checks: RuntimeCheckSet | None = None) -> None:
+                 runtime_checks: RuntimeCheckSet | None = None,
+                 graph: CallGraph | None = None,
+                 blocking: BlockingInfo | None = None,
+                 irq_handlers: set[str] | None = None) -> None:
         self.program = program
         self.precision = precision
         self.runtime_checks = runtime_checks or RuntimeCheckSet()
+        self._graph = graph
+        self._blocking = blocking
+        self._irq_handlers = irq_handlers
 
     def run(self) -> BlockStopResult:
-        graph, indirect_calls = build_direct_callgraph(self.program)
-        pointsto = FunctionPointerAnalysis(self.program, self.precision)
-        pointsto.collect()
-        pointsto.resolve(graph, indirect_calls)
-
-        blocking = collect_seeds(self.program)
-        propagate_blocking(self.program, graph, blocking)
-        propagate_over_graph(graph, blocking)
+        graph = self._graph
+        blocking = self._blocking
+        irq_handlers = self._irq_handlers
+        if graph is None:
+            graph, indirect_calls = build_direct_callgraph(self.program)
+            pointsto = FunctionPointerAnalysis(self.program, self.precision)
+            pointsto.collect()
+            pointsto.resolve(graph, indirect_calls)
+        if blocking is None:
+            blocking = collect_seeds(self.program)
+            propagate_blocking(self.program, graph, blocking)
+            propagate_over_graph(graph, blocking)
+        if irq_handlers is None:
+            irq_handlers = find_irq_handlers(self.program)
 
         result = BlockStopResult(graph=graph, blocking=blocking,
                                  precision=self.precision,
                                  runtime_checks=self.runtime_checks)
-        result.irq_handlers = self._find_irq_handlers(pointsto)
+        result.irq_handlers = set(irq_handlers)
         self._scan_atomic_regions(result, blocking)
         self._check_violations(result)
         return result
-
-    # -- interrupt handlers -----------------------------------------------------
-
-    def _find_irq_handlers(self, pointsto: FunctionPointerAnalysis) -> set[str]:
-        handlers: set[str] = set()
-        for unit in self.program.units:
-            for decl in unit.decls:
-                if not isinstance(decl, ast.FuncDef):
-                    continue
-                for node in walk(decl.body):
-                    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
-                            and node.func.name in IRQ_HANDLER_REGISTRATION):
-                        for arg in node.args:
-                            name = _function_name_of(arg, self.program)
-                            if name is not None:
-                                handlers.add(name)
-        return handlers
 
     # -- atomic-region scan -------------------------------------------------------
 
@@ -313,6 +334,11 @@ def _child_statements(stmt: ast.Stmt) -> list[ast.Stmt]:
 
 def run_blockstop(program: Program,
                   precision: Precision = Precision.TYPE_BASED,
-                  runtime_checks: RuntimeCheckSet | None = None) -> BlockStopResult:
+                  runtime_checks: RuntimeCheckSet | None = None,
+                  graph: CallGraph | None = None,
+                  blocking: BlockingInfo | None = None,
+                  irq_handlers: set[str] | None = None) -> BlockStopResult:
     """Convenience entry point: run the full BlockStop analysis."""
-    return BlockStopChecker(program, precision, runtime_checks).run()
+    return BlockStopChecker(program, precision, runtime_checks,
+                            graph=graph, blocking=blocking,
+                            irq_handlers=irq_handlers).run()

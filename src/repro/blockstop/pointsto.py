@@ -156,11 +156,14 @@ class FunctionPointerAnalysis:
     # -- resolution -------------------------------------------------------------
 
     def resolve(self, graph: CallGraph, indirect_calls: list[IndirectCall],
-                envs: dict[str, "object"] | None = None) -> PointsToResult:
-        """Add call-graph edges for every indirect call site."""
-        from ..deputy.typesystem import TypeEnv
+                envs: dict[str, "TypeEnv"] | None = None) -> PointsToResult:
+        """Add call-graph edges for every indirect call site.
 
-        env_cache: dict[str, TypeEnv] = {}
+        ``envs`` is an optional shared per-function :class:`TypeEnv` cache
+        (the engine's symbol-table artifact); it is filled in as a side
+        effect so later analyses reuse the same environments.
+        """
+        env_cache = envs if envs is not None else {}
         for site in indirect_calls:
             callees = self._resolve_site(site, env_cache)
             if callees:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..machine.program import Program
 from .delayed_free import count_delayed_scopes, count_pointer_nullouts, count_rtti_sites

@@ -28,7 +28,6 @@ from ..minic.ctypes import CArray, CPointer, CStruct, CType
 from ..minic.errors import SourceLocation
 from .typesystem import (
     DeputyError,
-    PointerFacts,
     PointerKind,
     TypeEnv,
     compatible_pointer_cast,
@@ -347,14 +346,20 @@ def _element_type(ctype: CType) -> CType:
 # ---------------------------------------------------------------------------
 
 def check_program(program: Program,
-                  options: DeputyOptions | None = None) -> dict[str, FunctionCheckResult]:
+                  options: DeputyOptions | None = None,
+                  functions: list[str] | None = None,
+                  env_cache: dict[str, TypeEnv] | None = None,
+                  ) -> dict[str, FunctionCheckResult]:
     """Run the static checker over every function; no code is modified.
 
     Returns per-function results; the instrumenter performs the same analysis
-    while also rewriting the tree.
+    while also rewriting the tree.  ``functions`` restricts checking to a
+    subset of definitions (the engine's per-translation-unit sharding) and
+    ``env_cache`` shares per-function type environments across analyses.
     """
     from .instrument import DeputyInstrumenter
 
-    instrumenter = DeputyInstrumenter(program, options or DeputyOptions())
-    instrumenter.run(rewrite=False)
+    instrumenter = DeputyInstrumenter(program, options or DeputyOptions(),
+                                      env_cache=env_cache)
+    instrumenter.run(rewrite=False, functions=functions)
     return instrumenter.results

@@ -19,10 +19,9 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass, field
 
-from ..machine.interpreter import ctype_size
-from ..machine.program import Program, link_units
+from ..machine.program import Program
 from ..minic import ast_nodes as ast
-from ..minic.ctypes import CFunc, CPointer, CStruct
+from ..minic.ctypes import CPointer
 from .checker import (
     Decision,
     DeputyOptions,
@@ -71,24 +70,50 @@ class InstrumentationResult:
 
 
 class DeputyInstrumenter:
-    """Instrument every function of a program with Deputy run-time checks."""
+    """Instrument every function of a program with Deputy run-time checks.
 
-    def __init__(self, program: Program, options: DeputyOptions | None = None) -> None:
+    ``env_cache`` is an optional shared per-function :class:`TypeEnv` table
+    (the engine's symbol-table artifact); environments are looked up there
+    first and stored back, so repeated analyses over the same program do not
+    rebuild them.
+    """
+
+    def __init__(self, program: Program, options: DeputyOptions | None = None,
+                 env_cache: dict[str, TypeEnv] | None = None) -> None:
         self.program = program
         self.options = options or DeputyOptions()
         self.results: dict[str, FunctionCheckResult] = {}
+        self.env_cache = env_cache
 
     # -- public API ---------------------------------------------------------
 
-    def run(self, rewrite: bool = True) -> InstrumentationResult:
-        """Analyse (and, if ``rewrite``, transform) every function in place."""
+    def run(self, rewrite: bool = True,
+            functions: list[str] | None = None) -> InstrumentationResult:
+        """Analyse (and, if ``rewrite``, transform) functions in place.
+
+        ``functions`` restricts the pass to a subset of defined functions,
+        which is how the engine shards checking by translation unit.
+        """
+        if functions is not None:
+            wanted = set(functions)
         for unit in self.program.units:
             for decl in unit.decls:
                 if isinstance(decl, ast.FuncDef):
+                    if functions is not None and decl.name not in wanted:
+                        continue
                     self._do_function(decl, rewrite)
         return InstrumentationResult(program=self.program, results=self.results)
 
     # -- per function ---------------------------------------------------------
+
+    def _env_for(self, func: ast.FuncDef) -> TypeEnv:
+        if self.env_cache is None:
+            return TypeEnv(self.program, func)
+        env = self.env_cache.get(func.name)
+        if env is None:
+            env = TypeEnv(self.program, func)
+            self.env_cache[func.name] = env
+        return env
 
     def _do_function(self, func: ast.FuncDef, rewrite: bool) -> None:
         result = FunctionCheckResult(function=func.name)
@@ -96,7 +121,7 @@ class DeputyInstrumenter:
         if _function_is_trusted(func):
             result.trusted = True
             return
-        env = TypeEnv(self.program, func)
+        env = self._env_for(func)
         worker = _FunctionInstrumenter(env, self.options, result, rewrite)
         new_body = worker.stmt(func.body, CheckCache(enabled=self.options.optimize))
         if rewrite and isinstance(new_body, ast.Block):

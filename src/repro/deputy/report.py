@@ -15,7 +15,6 @@ from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.ctypes import CArray, CFunc, CPointer, CStruct, CType
 from ..minic.visitor import walk
-from .checker import ObligationStatus
 from .instrument import InstrumentationResult
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from ..machine.errors import CheckFailure
 from ..machine.interpreter import Interpreter
-from ..machine.values import TypedValue, VOID_VALUE, int_value
+from ..machine.values import TypedValue, VOID_VALUE
 
 
 @dataclass

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Optional
+from typing import Callable, Optional
 
-from ..annotations.attrs import Annotation, AnnotationKind, AnnotationSet
+from ..annotations.attrs import AnnotationKind, AnnotationSet
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.ctypes import (
@@ -27,8 +27,19 @@ from ..minic.ctypes import (
     INT,
     UINT,
     CHAR,
+    VOID,
     pointer_to,
 )
+
+#: Return types of abstract-machine builtins that have no corpus prototype.
+#: ``__raw_alloc`` in particular must type as ``void *`` so that casting its
+#: result to an object pointer generates the cast obligation (and its
+#: run-time size check) instead of silently typing as ``int``.  Factories,
+#: not shared instances: pointer types can have annotations folded into them
+#: in place.
+_BUILTIN_RETURN_TYPES: dict[str, Callable[[], "CType"]] = {
+    "__raw_alloc": lambda: pointer_to(VOID),
+}
 
 
 class PointerKind(Enum):
@@ -175,6 +186,9 @@ class TypeEnv:
                 ftype = self.program.function_type(expr.func.name)
                 if ftype is not None:
                     return ftype.return_type
+                builtin = _BUILTIN_RETURN_TYPES.get(expr.func.name)
+                if builtin is not None:
+                    return builtin()
             func_type = self.type_of(expr.func).strip()
             if isinstance(func_type, CPointer):
                 inner = func_type.target.strip()

@@ -1,0 +1,350 @@
+"""Engine adapters for every registered analysis.
+
+Each adapter maps one of the repro's checkers onto the engine's shared
+artifacts and a common report shape:
+
+* ``run_shard(artifacts, functions)`` does the actual checking.  For
+  analyses whose work is per-function (``per_unit = True``) the engine calls
+  it once per translation unit with that unit's function list, which is how
+  the parallel mode shards the corpus; whole-program analyses get a single
+  shard with ``functions=None``.  Shard payloads are plain picklable dicts so
+  they can cross a ``multiprocessing`` boundary.
+* ``merge(artifacts, payloads)`` combines the shard payloads into the final
+  :class:`AnalysisReport`.  Serial and parallel runs share this code path,
+  which is what makes their results identical by construction.
+
+Findings are normalized dicts (``analysis``, ``kind``, ``function``,
+``file``, ``line``, ``message``) so reports can be merged, diffed, sorted
+and serialized to JSON without caring which checker produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analyses.errcheck import analyse_error_checks
+from ..analyses.lockcheck import LockAcquisition, collect_acquisitions, derive_report
+from ..analyses.stackcheck import analyse_stack
+from ..blockstop.checker import run_blockstop
+from ..blockstop.runtime_checks import RuntimeCheckSet
+from ..ccount.delayed_free import (
+    count_delayed_scopes,
+    count_pointer_nullouts,
+    count_rtti_sites,
+)
+from ..ccount.instrument import instrument_copy as ccount_instrument_copy
+from ..deputy.checker import DeputyOptions, ObligationStatus, check_program
+from .artifacts import SharedArtifacts
+
+Finding = dict  # normalized: analysis, kind, function, file, line, message
+
+
+def make_finding(analysis: str, kind: str, function: str, location: Any,
+                 message: str) -> Finding:
+    filename = getattr(location, "filename", "") or ""
+    line = getattr(location, "line", 0) or 0
+    return {"analysis": analysis, "kind": kind, "function": function,
+            "file": filename, "line": int(line), "message": message}
+
+
+def finding_sort_key(finding: Finding) -> tuple:
+    return (finding["file"], finding["line"], finding["function"],
+            finding["kind"], finding["message"])
+
+
+@dataclass
+class AnalysisReport:
+    """One analysis's merged result: findings plus summary metrics."""
+
+    name: str
+    findings: list[Finding] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "findings": self.findings,
+                "metrics": self.metrics}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnalysisReport":
+        return cls(name=payload["name"], findings=list(payload.get("findings", [])),
+                   metrics=dict(payload.get("metrics", {})))
+
+
+class EngineAnalysis:
+    """Base adapter: one registered analysis over the shared artifacts."""
+
+    name = "base"
+    #: Whether run_shard can be restricted to a translation unit's functions.
+    per_unit = False
+
+    def run_shard(self, artifacts: SharedArtifacts,
+                  functions: list[str] | None) -> dict:
+        raise NotImplementedError
+
+    def merge(self, artifacts: SharedArtifacts,
+              payloads: list[dict]) -> AnalysisReport:
+        raise NotImplementedError
+
+
+class DeputyAnalysis(EngineAnalysis):
+    """Deputy's hybrid type checking (static pass; no rewriting)."""
+
+    name = "deputy"
+    per_unit = True
+
+    def __init__(self, options: DeputyOptions | None = None) -> None:
+        self.options = options or DeputyOptions()
+
+    def run_shard(self, artifacts, functions):
+        results = check_program(artifacts.program, self.options,
+                                functions=functions,
+                                env_cache=artifacts.type_envs)
+        payload = {"functions": {}, "findings": []}
+        for name, result in results.items():
+            payload["functions"][name] = {
+                "trusted": result.trusted,
+                "counts": {status.name.lower(): result.count(status)
+                           for status in ObligationStatus},
+            }
+            for error in result.errors:
+                payload["findings"].append(make_finding(
+                    self.name, "static-error", name, error.location, error.message))
+        return payload
+
+    def merge(self, artifacts, payloads):
+        report = AnalysisReport(name=self.name)
+        totals = {status.name.lower(): 0 for status in ObligationStatus}
+        trusted_functions = 0
+        checked = 0
+        for payload in payloads:
+            report.findings.extend(payload["findings"])
+            for info in payload["functions"].values():
+                checked += 1
+                trusted_functions += 1 if info["trusted"] else 0
+                for key, value in info["counts"].items():
+                    totals[key] += value
+        report.findings.sort(key=finding_sort_key)
+        report.metrics = {
+            "functions_checked": checked,
+            "trusted_functions": trusted_functions,
+            "obligations_total": sum(totals.values()),
+            **{f"obligations_{key}": value for key, value in totals.items()},
+        }
+        return report
+
+
+class BlockStopAnalysis(EngineAnalysis):
+    """BlockStop: no blocking calls while interrupts are disabled."""
+
+    name = "blockstop"
+    per_unit = False
+
+    def __init__(self, runtime_checks: RuntimeCheckSet | None = None) -> None:
+        self.runtime_checks = runtime_checks
+
+    def run_shard(self, artifacts, functions):
+        result = run_blockstop(artifacts.program, artifacts.precision,
+                               runtime_checks=self.runtime_checks,
+                               graph=artifacts.graph,
+                               blocking=artifacts.blocking,
+                               irq_handlers=artifacts.irq_handlers)
+        findings = [make_finding(self.name, "blocking-in-atomic-context",
+                                 violation.caller, violation.location,
+                                 violation.describe())
+                    for violation in result.reported]
+        return {
+            "findings": findings,
+            "metrics": {
+                "functions_analyzed": len(result.graph),
+                "blocking_functions": len(result.blocking.may_block),
+                "atomic_call_sites": len(result.atomic_call_sites),
+                "irq_handlers": len(result.irq_handlers),
+                "violations_reported": len(result.reported),
+                "violations_silenced": len(result.silenced),
+                "precision": artifacts.precision.name.lower(),
+            },
+        }
+
+    def merge(self, artifacts, payloads):
+        payload = payloads[0]
+        findings = sorted(payload["findings"], key=finding_sort_key)
+        return AnalysisReport(name=self.name, findings=findings,
+                              metrics=payload["metrics"])
+
+
+class ErrcheckAnalysis(EngineAnalysis):
+    """Error-code checking at call sites (§3.1)."""
+
+    name = "errcheck"
+    per_unit = True
+
+    def run_shard(self, artifacts, functions):
+        report = analyse_error_checks(artifacts.program,
+                                      error_returning=artifacts.error_returning,
+                                      functions=functions)
+        findings = [make_finding(self.name, "unchecked-error-return",
+                                 call.caller, call.location,
+                                 f"result of {call.callee}() {call.reason}")
+                    for call in report.unchecked]
+        return {"findings": findings, "checked_calls": report.checked_calls}
+
+    def merge(self, artifacts, payloads):
+        report = AnalysisReport(name=self.name)
+        checked = 0
+        for payload in payloads:
+            report.findings.extend(payload["findings"])
+            checked += payload["checked_calls"]
+        report.findings.sort(key=finding_sort_key)
+        report.metrics = {
+            "error_returning_functions": len(artifacts.error_returning),
+            "checked_calls": checked,
+            "unchecked_calls": len(report.findings),
+        }
+        return report
+
+
+class LockcheckAnalysis(EngineAnalysis):
+    """Hybrid lock-safety checking (§3.1): ordering + IRQ discipline."""
+
+    name = "lockcheck"
+    per_unit = True
+
+    def run_shard(self, artifacts, functions):
+        acquisitions = collect_acquisitions(artifacts.program, functions=functions)
+        return {"acquisitions": [
+            {"function": acq.function, "lock": acq.lock, "irqsave": acq.irqsave,
+             "held_before": list(acq.held_before)}
+            for acq in acquisitions
+        ]}
+
+    def merge(self, artifacts, payloads):
+        acquisitions = [
+            LockAcquisition(function=raw["function"], lock=raw["lock"],
+                            irqsave=raw["irqsave"],
+                            held_before=tuple(raw["held_before"]))
+            for payload in payloads for raw in payload["acquisitions"]
+        ]
+        lock_report = derive_report(acquisitions,
+                                    irq_functions=artifacts.irq_handlers)
+        report = AnalysisReport(name=self.name)
+        for first, second in lock_report.order_violations:
+            report.findings.append(make_finding(
+                self.name, "lock-order", "", None,
+                f"inconsistent lock order: {first} -> {second} and "
+                f"{second} -> {first} both observed"))
+        for acq in lock_report.irq_violations:
+            report.findings.append(make_finding(
+                self.name, "irq-discipline", acq.function, None,
+                f"{acq.lock} is taken in interrupt context but acquired with "
+                f"plain spin_lock in {acq.function}"))
+        report.findings.sort(key=finding_sort_key)
+        report.metrics = {
+            "acquisitions": len(lock_report.acquisitions),
+            "order_pairs": len(lock_report.order_pairs),
+            "order_violations": len(lock_report.order_violations),
+            "irq_violations": len(lock_report.irq_violations),
+            "irq_context_locks": len(lock_report.irq_context_locks),
+        }
+        return report
+
+
+class StackcheckAnalysis(EngineAnalysis):
+    """Stack-depth bounding over the shared call graph (§3.1).
+
+    Deliberately uses the points-to-*resolved* graph (the paper reuses the
+    BlockStop call graph, indirect edges included): a direct-only graph
+    would under-estimate the worst case and miss recursion closed through a
+    function pointer.  The ``call_graph`` metric records this basis.
+    """
+
+    name = "stackcheck"
+    per_unit = False
+
+    def run_shard(self, artifacts, functions):
+        stack_report = analyse_stack(artifacts.program, artifacts.graph)
+        findings = [make_finding(self.name, "recursion-needs-runtime-check",
+                                 name, None,
+                                 f"{name} is (mutually) recursive; stack depth "
+                                 "needs a run-time check")
+                    for name in sorted(stack_report.recursive_functions)]
+        if not stack_report.fits:
+            findings.append(make_finding(
+                self.name, "stack-overflow-risk", stack_report.deepest_chain[0]
+                if stack_report.deepest_chain else "", None,
+                f"worst-case stack {stack_report.worst_case} bytes exceeds "
+                f"{stack_report.stack_limit}; deepest chain: "
+                + " -> ".join(stack_report.deepest_chain)))
+        return {
+            "findings": findings,
+            "metrics": {
+                "worst_case_bytes": stack_report.worst_case,
+                "stack_limit_bytes": stack_report.stack_limit,
+                "fits": stack_report.fits,
+                "recursive_functions": len(stack_report.recursive_functions),
+                "deepest_chain": list(stack_report.deepest_chain),
+                "call_graph": "pointsto_resolved",
+            },
+        }
+
+    def merge(self, artifacts, payloads):
+        payload = payloads[0]
+        findings = sorted(payload["findings"], key=finding_sort_key)
+        return AnalysisReport(name=self.name, findings=findings,
+                              metrics=payload["metrics"])
+
+
+class CCountAnalysis(EngineAnalysis):
+    """CCount instrumentation planning (counts only; shared AST untouched).
+
+    The rewriter mutates trees in place, so planning runs on a deep copy of
+    the shared program — still O(parse-once), since nothing is re-parsed.
+    """
+
+    name = "ccount"
+    per_unit = False
+
+    def run_shard(self, artifacts, functions):
+        result = ccount_instrument_copy(artifacts.program)
+        # The census counters run on the *instrumented* clone, matching the
+        # established harness census (build_conversion_report): the rewriter
+        # turns plain null-out assignments into __ccount_ptr_write calls, so
+        # counting before instrumentation would report different numbers for
+        # the same metric names.
+        instrumented = result.program
+        return {
+            "findings": [],
+            "metrics": {
+                "pointer_writes_instrumented": result.pointer_writes_instrumented,
+                "pointer_writes_skipped_local": result.pointer_writes_skipped_local,
+                "bulk_calls_converted": result.bulk_calls_converted,
+                "type_layouts": len(result.typeinfo.layouts),
+                "rtti_sites": count_rtti_sites(instrumented),
+                "pointer_nullouts": count_pointer_nullouts(instrumented),
+                "delayed_free_scopes": count_delayed_scopes(instrumented),
+            },
+        }
+
+    def merge(self, artifacts, payloads):
+        payload = payloads[0]
+        return AnalysisReport(name=self.name, findings=payload["findings"],
+                              metrics=payload["metrics"])
+
+
+#: Construction order doubles as the default run order.
+ANALYSIS_ORDER = ("deputy", "blockstop", "errcheck", "lockcheck",
+                  "stackcheck", "ccount")
+
+
+def make_registry(deputy_options: DeputyOptions | None = None,
+                  runtime_checks: RuntimeCheckSet | None = None,
+                  ) -> dict[str, EngineAnalysis]:
+    """Instantiate every registered analysis adapter, in run order."""
+    return {
+        "deputy": DeputyAnalysis(deputy_options),
+        "blockstop": BlockStopAnalysis(runtime_checks),
+        "errcheck": ErrcheckAnalysis(),
+        "lockcheck": LockcheckAnalysis(),
+        "stackcheck": StackcheckAnalysis(),
+        "ccount": CCountAnalysis(),
+    }

@@ -1,0 +1,109 @@
+"""Command-line interface for the unified analysis engine.
+
+Usage (also installed as the ``repro-engine`` console script)::
+
+    python -m repro.engine run --analyses deputy,blockstop --jobs 4
+    python -m repro.engine run --analyses all --cache-dir .engine-cache \
+        --format json --output report.json
+    python -m repro.engine report report.json --format text
+    python -m repro.engine list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..blockstop.pointsto import Precision
+from ..kernel.corpus import ALL_FILES, KERNEL_FILES
+from .analyses import ANALYSIS_ORDER
+from .core import AnalysisEngine, EngineReport
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-engine",
+        description="Run the paper's analyses over the kernel corpus with "
+                    "shared parse/call-graph/points-to artifacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="analyze the corpus in one batched pass")
+    run.add_argument("--analyses", default="all",
+                     help="comma-separated analyses, or 'all' (default). "
+                          f"Known: {', '.join(ANALYSIS_ORDER)}")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes; >1 shards by translation unit")
+    run.add_argument("--cache-dir", default=None,
+                     help="directory for the on-disk artifact cache")
+    run.add_argument("--precision", default="type_based",
+                     choices=[p.name.lower() for p in Precision],
+                     help="function-pointer points-to precision")
+    run.add_argument("--format", default="text", choices=("text", "json"),
+                     help="report format printed to stdout")
+    run.add_argument("--output", default=None,
+                     help="also write the JSON report to this file")
+    run.add_argument("--include-user", action="store_true",
+                     help="analyze user-level corpus files too, not just the kernel")
+    run.add_argument("--fail-on-findings", action="store_true",
+                     help="exit non-zero if any analysis reports findings "
+                          "(for gating CI jobs; the smoke job omits it)")
+
+    report = sub.add_parser("report", help="re-render a saved JSON report")
+    report.add_argument("input", help="path to a report written by 'run --output'")
+    report.add_argument("--format", default="text", choices=("text", "json"))
+
+    sub.add_parser("list", help="list the registered analyses")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = AnalysisEngine(
+        files=ALL_FILES if args.include_user else KERNEL_FILES,
+        precision=Precision[args.precision.upper()],
+        cache_dir=args.cache_dir)
+    try:
+        names = engine.resolve_analyses(args.analyses)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    report = engine.run(analyses=names, jobs=args.jobs)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    print(report.to_json() if args.format == "json" else report.render_text())
+    if args.fail_on_findings and report.finding_count:
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read report {args.input!r}: {error}", file=sys.stderr)
+        return 2
+    report = EngineReport.from_dict(payload)
+    print(report.to_json() if args.format == "json" else report.render_text())
+    return 0
+
+
+def _cmd_list() -> int:
+    for name in ANALYSIS_ORDER:
+        print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

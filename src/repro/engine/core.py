@@ -1,0 +1,273 @@
+"""The unified analysis engine.
+
+:class:`AnalysisEngine` parses each corpus translation unit exactly once,
+derives the shared artifacts (AST, symbol tables, annotations, call graph,
+points-to solution) through the content-keyed :class:`ArtifactCache`, and
+dispatches every registered analysis over them — serially, or sharded by
+translation unit across a ``multiprocessing`` pool.  Per-analysis shard
+payloads are merged by the same code path in both modes, so parallel runs
+produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..blockstop.pointsto import Precision
+from ..blockstop.runtime_checks import RuntimeCheckSet
+from ..deputy.checker import DeputyOptions
+from ..kernel.build import parse_corpus
+from ..kernel.corpus import KERNEL_FILES, CorpusFile
+from ..machine.program import Program
+from .analyses import (
+    ANALYSIS_ORDER,
+    AnalysisReport,
+    EngineAnalysis,
+    finding_sort_key,
+    make_registry,
+)
+from .artifacts import ArtifactCache, SharedArtifacts, build_shared_artifacts
+
+#: Task tuple: (analysis name, shard index, function subset or None).
+_Task = tuple[str, int, "list[str] | None"]
+
+#: Worker state inherited through fork(); set only around a parallel run.
+_WORKER_CONTEXT: "tuple[SharedArtifacts, dict[str, EngineAnalysis]] | None" = None
+
+
+def _run_shard_task(task: _Task) -> tuple[str, int, dict]:
+    """Execute one shard in a worker (or inline, for the serial path)."""
+    assert _WORKER_CONTEXT is not None, "worker context not initialised"
+    artifacts, registry = _WORKER_CONTEXT
+    name, index, functions = task
+    return name, index, registry[name].run_shard(artifacts, functions)
+
+
+@dataclass
+class EngineReport:
+    """The merged result of one engine run over the corpus."""
+
+    analyses: dict[str, AnalysisReport] = field(default_factory=dict)
+    corpus_files: list[str] = field(default_factory=list)
+    precision: str = "type_based"
+    jobs: int = 1
+    parallel: bool = False
+    elapsed_seconds: float = 0.0
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    # -- queries ------------------------------------------------------------
+
+    def all_findings(self) -> list[dict]:
+        collected: list[dict] = []
+        for name in sorted(self.analyses):
+            collected.extend(self.analyses[name].findings)
+        return sorted(collected, key=finding_sort_key)
+
+    @property
+    def finding_count(self) -> int:
+        return sum(len(report.findings) for report in self.analyses.values())
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-engine-report/1",
+            "corpus_files": self.corpus_files,
+            "precision": self.precision,
+            "jobs": self.jobs,
+            "parallel": self.parallel,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "cache_stats": self.cache_stats,
+            "analyses": {name: report.to_dict()
+                         for name, report in self.analyses.items()},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineReport":
+        report = cls(
+            corpus_files=list(payload.get("corpus_files", [])),
+            precision=payload.get("precision", "type_based"),
+            jobs=int(payload.get("jobs", 1)),
+            parallel=bool(payload.get("parallel", False)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            cache_stats=dict(payload.get("cache_stats", {})),
+        )
+        for name, raw in payload.get("analyses", {}).items():
+            report.analyses[name] = AnalysisReport.from_dict(raw)
+        return report
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines = ["== repro analysis engine =="]
+        lines.append(f"corpus: {len(self.corpus_files)} translation units; "
+                     f"precision {self.precision}; "
+                     f"{'parallel, %d jobs' % self.jobs if self.parallel else 'serial'}")
+        if self.cache_stats:
+            lines.append("cache: {hits} hits, {misses} misses, "
+                         "{disk_hits} from disk".format(**self.cache_stats))
+        for name in sorted(self.analyses):
+            report = self.analyses[name]
+            lines.append("")
+            lines.append(f"-- {name} --")
+            for key in sorted(report.metrics):
+                lines.append(f"  {key:>32}: {report.metrics[key]}")
+            lines.append(f"  findings: {len(report.findings)}")
+            for finding in report.findings:
+                where = f"{finding['file']}:{finding['line']}" if finding["file"] else "-"
+                lines.append(f"    {where} [{finding['kind']}] "
+                             f"{finding['function']}: {finding['message']}")
+        lines.append("")
+        lines.append(f"total findings: {self.finding_count} "
+                     f"({self.elapsed_seconds:.2f}s)")
+        return "\n".join(lines)
+
+
+class AnalysisEngine:
+    """Parse once, analyze many: the shared-work front end for all checkers."""
+
+    def __init__(self,
+                 files: tuple[CorpusFile, ...] = KERNEL_FILES,
+                 defines: dict[str, str] | None = None,
+                 precision: Precision = Precision.TYPE_BASED,
+                 cache: ArtifactCache | None = None,
+                 cache_dir: str | None = None,
+                 deputy_options: DeputyOptions | None = None,
+                 runtime_checks: RuntimeCheckSet | None = None) -> None:
+        self.files = tuple(files)
+        self.defines = dict(defines or {})
+        self.precision = precision
+        self.cache = cache if cache is not None else ArtifactCache(cache_dir)
+        self.registry = make_registry(deputy_options, runtime_checks)
+
+    # -- shared artifacts ---------------------------------------------------
+
+    def program_key(self) -> str:
+        return self.cache.content_key("program", files=self.files,
+                                      defines=self.defines)
+
+    def program(self) -> Program:
+        """The parsed, linked corpus — built at most once per content key."""
+        return self.cache.get_or_build(
+            self.program_key(),
+            lambda: parse_corpus(self.files, self.defines))
+
+    def fresh_program(self) -> Program:
+        """A private, mutation-safe copy of the parsed corpus.
+
+        Instrumenting builds (Deputy/CCount rewriting, the hbench harness)
+        mutate the AST in place; they get a deep copy of the cached parse
+        instead of re-parsing the corpus.
+        """
+        return copy.deepcopy(self.program())
+
+    def fresh_kernel_program(self, config=None) -> Program | None:
+        """A mutation-safe parse for a kernel build, or None on mismatch.
+
+        Kernel builds parse ``KERNEL_FILES`` with ``config.defines``; this
+        engine's cached parse can only substitute for that when its own file
+        set and defines match.  Returning ``None`` tells ``build_kernel`` to
+        parse from scratch rather than silently build the wrong corpus.
+        """
+        defines = dict(getattr(config, "defines", None) or {})
+        if self.files == KERNEL_FILES and defines == self.defines:
+            return self.fresh_program()
+        return None
+
+    def kernel_program_factory(self):
+        """A ``program_factory`` for the hbench/boot path (see above)."""
+        return self.fresh_kernel_program
+
+    def artifacts(self) -> SharedArtifacts:
+        """Shared artifacts for the configured precision (memory-cached)."""
+        key = self.cache.content_key(
+            "artifacts", files=self.files, defines=self.defines,
+            extra={"precision": self.precision.name})
+        return self.cache.get_or_build(
+            key, lambda: build_shared_artifacts(self.program(), self.precision),
+            persist=False)
+
+    # -- running ------------------------------------------------------------
+
+    def resolve_analyses(self, analyses: Iterable[str] | str | None) -> list[str]:
+        """Normalize an analysis selection ('all', CSV, or a list) to names."""
+        if analyses is None or analyses == "all":
+            return [name for name in ANALYSIS_ORDER if name in self.registry]
+        if isinstance(analyses, str):
+            analyses = [part.strip() for part in analyses.split(",") if part.strip()]
+        names: list[str] = []
+        for name in analyses:
+            if name == "all":
+                names.extend(n for n in ANALYSIS_ORDER if n in self.registry)
+                continue
+            if name not in self.registry:
+                known = ", ".join(sorted(self.registry))
+                raise KeyError(f"unknown analysis {name!r} (known: {known})")
+            names.append(name)
+        seen: set[str] = set()
+        return [n for n in names if not (n in seen or seen.add(n))]
+
+    def _build_tasks(self, names: list[str],
+                     artifacts: SharedArtifacts) -> list[_Task]:
+        tasks: list[_Task] = []
+        for name in names:
+            adapter = self.registry[name]
+            if adapter.per_unit:
+                index = 0
+                for functions in artifacts.unit_functions.values():
+                    if not functions:
+                        continue
+                    tasks.append((name, index, functions))
+                    index += 1
+            else:
+                tasks.append((name, 0, None))
+        return tasks
+
+    def run(self, analyses: Iterable[str] | str | None = None,
+            jobs: int = 1) -> EngineReport:
+        """Run the selected analyses over the corpus and merge their reports."""
+        global _WORKER_CONTEXT
+        start = time.perf_counter()
+        names = self.resolve_analyses(analyses)
+        artifacts = self.artifacts()
+        tasks = self._build_tasks(names, artifacts)
+
+        use_parallel = (jobs > 1 and len(tasks) > 1
+                        and "fork" in multiprocessing.get_all_start_methods())
+        _WORKER_CONTEXT = (artifacts, self.registry)
+        try:
+            if use_parallel:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=jobs) as pool:
+                    results = pool.map(_run_shard_task, tasks)
+            else:
+                results = [_run_shard_task(task) for task in tasks]
+        finally:
+            _WORKER_CONTEXT = None
+
+        shards: dict[str, list[tuple[int, dict]]] = {name: [] for name in names}
+        for name, index, payload in results:
+            shards[name].append((index, payload))
+
+        report = EngineReport(
+            corpus_files=[f.filename for f in self.files],
+            precision=self.precision.name.lower(),
+            jobs=jobs if use_parallel else 1,
+            parallel=use_parallel,
+        )
+        for name in names:
+            payloads = [payload for _, payload in sorted(shards[name])]
+            report.analyses[name] = self.registry[name].merge(artifacts, payloads)
+        report.elapsed_seconds = time.perf_counter() - start
+        report.cache_stats = {"hits": self.cache.hits,
+                              "misses": self.cache.misses,
+                              "disk_hits": self.cache.disk_hits}
+        return report

@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ccount import CCountConfig
 from ..kernel.boot import boot_kernel
-from ..kernel.build import BuildConfig
+from ..kernel.build import BuildConfig, build_kernel
 from ..kernel.workloads import workload_fork, workload_module_load
 
 #: The paper's reported overheads.
@@ -78,23 +77,37 @@ class CCountOverheadResult:
 
 
 def _measure(workload: str, smp: bool, ccount: bool,
-             iterations: int) -> int:
+             iterations: int, engine: "AnalysisEngine | None" = None) -> int:
     config = BuildConfig(ccount=ccount)
-    kernel = boot_kernel(config, smp=smp, reset_cycles_after_boot=True)
+    base_program = (engine.fresh_kernel_program(config)
+                    if engine is not None else None)
+    build = build_kernel(config, base_program=base_program)
+    kernel = boot_kernel(build=build, smp=smp, reset_cycles_after_boot=True)
     if workload == "fork":
         return workload_fork(kernel, iterations).cycles
     return workload_module_load(kernel, iterations).cycles
 
 
 def run_ccount_overheads(fork_iterations: int = 12,
-                         module_iterations: int = 8) -> CCountOverheadResult:
-    """Measure fork and module-loading overheads for UP and SMP kernels."""
+                         module_iterations: int = 8,
+                         engine: "AnalysisEngine | None" = None) -> CCountOverheadResult:
+    """Measure fork and module-loading overheads for UP and SMP kernels.
+
+    Each of the eight kernel builds starts from the engine's cached parse
+    (created on the fly if the caller does not supply one).
+    """
+    from ..engine import AnalysisEngine
+
+    if engine is None:
+        engine = AnalysisEngine()
     result = CCountOverheadResult()
     for workload, iterations in (("fork", fork_iterations),
                                  ("module", module_iterations)):
         for configuration, smp in (("up", False), ("smp", True)):
-            baseline = _measure(workload, smp, ccount=False, iterations=iterations)
-            ccount = _measure(workload, smp, ccount=True, iterations=iterations)
+            baseline = _measure(workload, smp, ccount=False,
+                                iterations=iterations, engine=engine)
+            ccount = _measure(workload, smp, ccount=True,
+                              iterations=iterations, engine=engine)
             result.rows.append(OverheadRow(
                 workload=workload, configuration=configuration,
                 baseline_cycles=baseline, ccount_cycles=ccount,

@@ -53,11 +53,23 @@ class CCountStatsResult:
                 and self.light_use_report.good_fraction >= 0.985)
 
 
-def run_ccount_stats(config: CCountConfig | None = None) -> CCountStatsResult:
-    """Run boot-to-login and light-use under the CCount runtime."""
-    kernel = boot_kernel(BuildConfig(ccount=True,
-                                     ccount_config=config or CCountConfig()),
-                         boot=False)
+def run_ccount_stats(config: CCountConfig | None = None,
+                     engine: "AnalysisEngine | None" = None) -> CCountStatsResult:
+    """Run boot-to-login and light-use under the CCount runtime.
+
+    The instrumented build starts from the engine's cached parse instead of
+    re-parsing the corpus.
+    """
+    from ..engine import AnalysisEngine
+    from ..kernel.build import build_kernel
+
+    if engine is None:
+        engine = AnalysisEngine()
+    build_config = BuildConfig(ccount=True,
+                               ccount_config=config or CCountConfig())
+    build = build_kernel(build_config,
+                         base_program=engine.fresh_kernel_program(build_config))
+    kernel = boot_kernel(build=build, boot=False)
     assert kernel.ccount is not None
     workload_boot_to_login(kernel)
     conversion = build_conversion_report(kernel.build.program, kernel.build.ccount_result)

@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..deputy import ConversionReport, DeputyOptions, build_report, instrument_program
-from ..kernel.build import BuildConfig, parse_corpus
-from ..kernel.corpus import KERNEL_FILES
 
 #: The paper's reported conversion statistics for the 435 KLoC kernel.
 PAPER_DEPUTY_STATS = {
@@ -41,9 +39,22 @@ class DeputyStatsResult:
                 and self.report.check_errors == 0)
 
 
-def run_deputy_stats(options: DeputyOptions | None = None) -> DeputyStatsResult:
-    """Convert the kernel corpus with Deputy and compute the census."""
-    program = parse_corpus(KERNEL_FILES)
+def run_deputy_stats(options: DeputyOptions | None = None,
+                     engine: "AnalysisEngine | None" = None) -> DeputyStatsResult:
+    """Convert the kernel corpus with Deputy and compute the census.
+
+    The conversion rewrites the AST in place, so it runs on a mutation-safe
+    copy of the engine's cached parse rather than re-parsing the corpus.
+    """
+    from ..engine import AnalysisEngine
+    from ..kernel.build import parse_corpus
+    from ..kernel.corpus import KERNEL_FILES
+
+    if engine is None:
+        engine = AnalysisEngine()
+    # The census is defined over the kernel corpus; an engine configured for
+    # a different corpus cannot substitute its parse.
+    program = engine.fresh_kernel_program() or parse_corpus(KERNEL_FILES)
     instrumentation = instrument_program(program, options or DeputyOptions())
     report = build_report(program, instrumentation)
     return DeputyStatsResult(report=report)

@@ -56,15 +56,25 @@ class FullReport:
         return "\n\n".join(sections)
 
 
-def run_all(include_table1: bool = True) -> FullReport:
-    """Run every experiment (Table 1 is the slowest; it can be skipped)."""
+def run_all(include_table1: bool = True,
+            engine: "AnalysisEngine | None" = None) -> FullReport:
+    """Run every experiment (Table 1 is the slowest; it can be skipped).
+
+    One analysis engine is shared across the experiments, so the corpus is
+    parsed once and instrumenting builds copy that parse instead of redoing
+    it.
+    """
+    from ..engine import AnalysisEngine
+
+    if engine is None:
+        engine = AnalysisEngine()
     report = FullReport()
     if include_table1:
-        report.table1 = run_table1()
-    report.deputy_stats = run_deputy_stats()
-    report.ccount_stats = run_ccount_stats()
-    report.ccount_overheads = run_ccount_overheads()
-    report.blockstop = run_blockstop_eval()
+        report.table1 = run_table1(engine=engine)
+    report.deputy_stats = run_deputy_stats(engine=engine)
+    report.ccount_stats = run_ccount_stats(engine=engine)
+    report.ccount_overheads = run_ccount_overheads(engine=engine)
+    report.blockstop = run_blockstop_eval(engine=engine)
     return report
 
 

@@ -41,11 +41,22 @@ class Table1Result:
         return self.suite.format_table()
 
 
-def run_table1(optimize: bool = True, shared_kernels: bool = True) -> Table1Result:
-    """Regenerate Table 1 (optionally with the check optimizer disabled)."""
+def run_table1(optimize: bool = True, shared_kernels: bool = True,
+               engine: "AnalysisEngine | None" = None) -> Table1Result:
+    """Regenerate Table 1 (optionally with the check optimizer disabled).
+
+    When an :class:`~repro.engine.AnalysisEngine` is supplied (or for the
+    default configuration, created on the fly), both kernel builds start from
+    the engine's cached parse of the corpus instead of re-parsing it.
+    """
+    from ..engine import AnalysisEngine
+
+    if engine is None:
+        engine = AnalysisEngine()
     options = DeputyOptions(optimize=optimize)
     suite = run_suite(
         instrumented_config=BuildConfig(deputy=True, deputy_options=options),
         label="deputy" if optimize else "deputy (no check optimizer)",
-        shared_kernels=shared_kernels)
+        shared_kernels=shared_kernels,
+        program_factory=engine.kernel_program_factory())
     return Table1Result(suite=suite)

@@ -4,10 +4,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable, Optional
+
 from ..deputy import DeputyOptions
 from ..kernel.boot import KernelInstance, boot_kernel
-from ..kernel.build import BuildConfig
+from ..kernel.build import BuildConfig, build_kernel
+from ..machine.program import Program
 from .suite import Benchmark, PAPER_TABLE1, all_benchmarks
+
+#: Supplies a pre-parsed (mutation-safe) kernel program for a build, or None
+#: to parse from scratch — the analysis engine's cached parse plugs in here.
+ProgramFactory = Optional[Callable[[BuildConfig], Optional[Program]]]
 
 
 @dataclass
@@ -70,16 +77,22 @@ class SuiteResult:
         return "\n".join(lines)
 
 
-def fresh_kernel(config: BuildConfig, max_steps: int = 80_000_000) -> KernelInstance:
+def fresh_kernel(config: BuildConfig, max_steps: int = 80_000_000,
+                 program_factory: ProgramFactory = None) -> KernelInstance:
     """Boot a fresh kernel for one benchmark run."""
-    return boot_kernel(config, max_steps=max_steps, reset_cycles_after_boot=True)
+    base_program = program_factory(config) if program_factory is not None else None
+    build = build_kernel(config, base_program=base_program)
+    return boot_kernel(build=build, max_steps=max_steps,
+                       reset_cycles_after_boot=True)
 
 
 def run_benchmark_pair(bench: Benchmark, baseline_config: BuildConfig,
-                       instrumented_config: BuildConfig) -> BenchmarkRow:
+                       instrumented_config: BuildConfig,
+                       program_factory: ProgramFactory = None) -> BenchmarkRow:
     """Measure one benchmark on freshly booted baseline/instrumented kernels."""
-    baseline_kernel = fresh_kernel(baseline_config)
-    instrumented_kernel = fresh_kernel(instrumented_config)
+    baseline_kernel = fresh_kernel(baseline_config, program_factory=program_factory)
+    instrumented_kernel = fresh_kernel(instrumented_config,
+                                       program_factory=program_factory)
     baseline = bench.measure(baseline_kernel)
     instrumented = bench.measure(instrumented_kernel)
     return BenchmarkRow(name=bench.name, kind=bench.kind,
@@ -92,7 +105,8 @@ def run_suite(instrumented_config: BuildConfig | None = None,
               baseline_config: BuildConfig | None = None,
               benchmarks: list[Benchmark] | None = None,
               label: str | None = None,
-              shared_kernels: bool = True) -> SuiteResult:
+              shared_kernels: bool = True,
+              program_factory: ProgramFactory = None) -> SuiteResult:
     """Run the whole suite (defaults to baseline vs. deputized kernel).
 
     With ``shared_kernels`` (the default, and how hbench itself runs) the two
@@ -107,10 +121,12 @@ def run_suite(instrumented_config: BuildConfig | None = None,
     if not shared_kernels:
         for bench in selected:
             result.rows.append(run_benchmark_pair(bench, baseline_config,
-                                                  instrumented_config))
+                                                  instrumented_config,
+                                                  program_factory=program_factory))
         return result
-    baseline_kernel = fresh_kernel(baseline_config)
-    instrumented_kernel = fresh_kernel(instrumented_config)
+    baseline_kernel = fresh_kernel(baseline_config, program_factory=program_factory)
+    instrumented_kernel = fresh_kernel(instrumented_config,
+                                       program_factory=program_factory)
     for bench in selected:
         baseline = bench.measure(baseline_kernel)
         instrumented = bench.measure(instrumented_kernel)

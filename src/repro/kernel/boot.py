@@ -7,7 +7,7 @@ constructor used by the hbench suite, the workloads and the examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..blockstop import runtime_checks as blockstop_runtime

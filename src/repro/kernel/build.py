@@ -9,6 +9,7 @@ harness reports.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -63,9 +64,20 @@ class KernelBuild:
         return self.config.label
 
 
+#: How many times each corpus file has been parsed in this process.  The
+#: engine's parse-once guarantee is asserted against this counter.
+PARSE_COUNTS: Counter[str] = Counter()
+
+
+def reset_parse_counts() -> None:
+    """Reset the per-file parse counter (used by tests)."""
+    PARSE_COUNTS.clear()
+
+
 def _parse_file(corpus_file: CorpusFile, registry: TypeRegistry,
                 preprocessor: Preprocessor):
     """Preprocess and parse one corpus file against the shared state."""
+    PARSE_COUNTS[corpus_file.filename] += 1
     text = preprocessor.process(corpus_file.source, corpus_file.filename)
     tokens = tokenize(text, corpus_file.filename)
     parser = Parser(tokens, corpus_file.filename, registry)
@@ -93,15 +105,21 @@ def parse_corpus(files: tuple[CorpusFile, ...] = ALL_FILES,
     return program
 
 
-def build_kernel(config: BuildConfig | None = None) -> KernelBuild:
+def build_kernel(config: BuildConfig | None = None,
+                 base_program: Program | None = None) -> KernelBuild:
     """Build the kernel with the tools requested by ``config``.
 
     Instrumentation is applied to the kernel files only; the user-level
     benchmark sources are linked in afterwards, exactly as un-deputized user
     programs run on top of a deputized kernel.
+
+    ``base_program`` lets a caller (the analysis engine) supply an already
+    parsed kernel program instead of re-parsing the corpus.  Instrumentation
+    mutates the program in place, so the caller must hand over a private copy
+    (:meth:`repro.engine.AnalysisEngine.fresh_program`).
     """
     config = config or BuildConfig()
-    program = parse_corpus(KERNEL_FILES, config.defines)
+    program = base_program or parse_corpus(KERNEL_FILES, config.defines)
     build = KernelBuild(program=program, config=config)
 
     if config.deputy:

@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, TYPE_CHECKING
 
-from ..minic.ctypes import CHAR, INT, UINT, VOID, pointer_to
+from ..minic.ctypes import UINT, VOID, pointer_to
 from ..minic.errors import SourceLocation
-from .errors import MachineError, PanicError
+from .errors import PanicError
 from .values import TypedValue, VOID_VALUE, int_value, pointer_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

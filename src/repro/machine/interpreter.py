@@ -28,10 +28,8 @@ from typing import Optional, Sequence
 from ..minic import ast_nodes as ast
 from ..minic.ctypes import (
     CArray,
-    CEnum,
     CFloat,
     CFunc,
-    CInt,
     CPointer,
     CStruct,
     CType,

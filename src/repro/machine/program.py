@@ -115,6 +115,18 @@ class Program:
         decl = self.globals.get(name)
         return decl.type if decl is not None else None
 
+    def functions_subset(self, names: list[str] | None = None,
+                         ) -> list[tuple[str, ast.FuncDef]]:
+        """Defined functions as (name, def) pairs, optionally restricted.
+
+        Names without a definition are skipped: the engine's per-unit shards
+        pass prototype-only names freely.
+        """
+        if names is None:
+            return list(self.functions.items())
+        return [(name, self.functions[name]) for name in names
+                if name in self.functions]
+
     def all_function_names(self) -> list[str]:
         names = set(self.functions) | set(self.prototypes)
         return sorted(names)

@@ -14,9 +14,9 @@ Keeping the data layout explicit matters for two of the three tools:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Iterator, Optional
 
-from ..annotations.attrs import AnnotationKind, AnnotationSet
+from ..annotations.attrs import AnnotationSet
 from .errors import TypeError_
 
 POINTER_SIZE = 4

@@ -108,8 +108,10 @@ class Lexer:
             digits = text[start:self.pos]
             value = int(digits, 10)
         # Integer suffixes (u, l, ul, ull, ...) are accepted and ignored:
-        # MiniC models a single 32-bit int plus 64-bit long long.
-        while self._peek() in "uUlL":
+        # MiniC models a single 32-bit int plus 64-bit long long.  The
+        # explicit emptiness guard matters: at end of input _peek() returns
+        # "" and `"" in "uUlL"` is True, which would loop forever.
+        while self._peek() != "" and self._peek() in "uUlL":
             self._advance()
         return Token(TokenKind.INT_LIT, text[start:self.pos], value, loc)
 
@@ -119,7 +121,7 @@ class Lexer:
         if ch == "x":
             self._advance()
             digits = ""
-            while self._peek() in "0123456789abcdefABCDEF":
+            while self._peek() != "" and self._peek() in "0123456789abcdefABCDEF":
                 digits += self._advance()
             if not digits:
                 raise LexError("invalid hex escape", loc)

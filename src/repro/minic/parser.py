@@ -993,7 +993,7 @@ def parse_expression(text: str,
     """Parse a single expression (used by tests and annotation tooling)."""
     tokens = tokenize(text, "<expr>")
     parser = Parser(tokens, "<expr>", registry)
-    expr = parser.parse_expression()
+    expr = parser._parse_expression()
     if not parser._at_eof():
         raise ParseError("trailing tokens after expression", parser._loc())
     return expr

@@ -56,8 +56,28 @@ class PrettyPrinter:
 
     def print_declaration(self, decl: ast.Declaration) -> str:
         storage = f"{decl.storage} " if decl.storage else ""
-        annos = self._annotations(decl.annotations, leading_space=True)
-        text = storage + self._declare(decl.type, decl.name) + annos
+        # A prototype's annotations live both on the declaration and on its
+        # function type; print the deduplicated union once, or the rendering
+        # would not round-trip (each re-parse would double the annotations).
+        stripped = decl.type.strip()
+        if isinstance(stripped, CFunc):
+            merged = AnnotationSet()
+            seen: set[str] = set()
+            for source in (decl.annotations, stripped.annotations):
+                for annotation in source:
+                    # Dedupe by rendered form, not kind: two acquires(...)
+                    # facts with different arguments must both survive.
+                    rendered = str(annotation)
+                    if rendered not in seen:
+                        seen.add(rendered)
+                        merged.add(annotation)
+            annos = self._annotations(merged, leading_space=True)
+            text = (storage
+                    + self._declare(decl.type, decl.name, skip_func_annos=True)
+                    + annos)
+        else:
+            annos = self._annotations(decl.annotations, leading_space=True)
+            text = storage + self._declare(decl.type, decl.name) + annos
         if decl.init is not None:
             text += " = " + self.print_initializer(decl.init)
         return text

@@ -1,7 +1,5 @@
 """Tests for the future analyses (§3.1) and the annotation repository (§3.2)."""
 
-import pytest
-
 from repro.analyses import (
     analyse_error_checks,
     analyse_locks,
@@ -190,7 +188,7 @@ class TestRepository:
         assert loaded.blocking_functions() == {"schedule"}
 
     def test_export_blocking_facts_from_kernel(self, kernel_program):
-        from repro.blockstop import collect_seeds, propagate_blocking, propagate_over_graph
+        from repro.blockstop import propagate_blocking, propagate_over_graph
         graph, _ = build_direct_callgraph(kernel_program)
         info = propagate_blocking(kernel_program, graph)
         propagate_over_graph(graph, info)

@@ -12,7 +12,6 @@ from repro.ccount import (
 )
 from repro.ccount import runtime as ccount_runtime
 from repro.machine import CheckFailure, Interpreter, link_units
-from repro.machine.memory import BLOCK_ALIGN
 from repro.minic import parse_source
 
 

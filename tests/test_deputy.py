@@ -1,7 +1,5 @@
 """Tests for Deputy: type system, instrumenter, optimizer, runtime."""
 
-import copy
-
 import pytest
 
 from repro.deputy import (
@@ -14,7 +12,7 @@ from repro.deputy import (
     pointer_facts,
 )
 from repro.deputy import runtime as deputy_runtime
-from repro.machine import CheckFailure, Interpreter, MemoryFault, link_units
+from repro.machine import CheckFailure, Interpreter, link_units
 from repro.minic import parse_source, render_unit
 
 

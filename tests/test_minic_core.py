@@ -9,7 +9,6 @@ from repro.minic.ctypes import (
     CArray,
     CField,
     CInt,
-    CPointer,
     CStruct,
     CHAR,
     INT,
