@@ -9,18 +9,34 @@ lock behaviour of each function, then summarised program-wide:
 * **IRQ discipline** — a spinlock that is taken from interrupt context must
   only be taken with interrupts disabled (``spin_lock_irqsave``) in process
   context; taking it with plain ``spin_lock`` is reported.
+
+The per-function scan is flow-sensitive: it runs on the shared CFG +
+fixpoint solver (:mod:`repro.dataflow`).  The abstract state is the
+*must-hold* multiset of locks — a tuple of ``(lock, count)`` pairs in
+first-acquisition order — and the join at merge points is intersection with
+minimum counts, so a lock taken on only one arm of an ``if``/``else`` is not
+"held" in the sibling arm or after the merge.  Counts make nested
+re-acquisition of the same lock balance correctly (each release undoes one
+acquire) and surface a double-acquire diagnostic (self-deadlock on a
+non-recursive spinlock).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..dataflow import build_cfg, reachable_blocks, solve_forward
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
+from ..minic.errors import SourceLocation
 from ..minic.visitor import walk
 
 ACQUIRE_CALLS = {"spin_lock": False, "spin_lock_irqsave": True, "spin_lock_irq": True}
 RELEASE_CALLS = {"spin_unlock", "spin_unlock_irqrestore", "spin_unlock_irq"}
+
+#: Abstract state: locks definitely held, with nesting counts, in
+#: first-acquisition order.  Immutable so the solver can compare states.
+LockState = tuple[tuple[str, int], ...]
 
 
 @dataclass(frozen=True)
@@ -31,6 +47,8 @@ class LockAcquisition:
     lock: str
     irqsave: bool
     held_before: tuple[str, ...]
+    location: SourceLocation = field(default_factory=SourceLocation)
+    reacquired: bool = False    # the same lock was already held at this site
 
 
 @dataclass
@@ -42,10 +60,11 @@ class LockReport:
     order_violations: list[tuple[str, str]] = field(default_factory=list)
     irq_violations: list[LockAcquisition] = field(default_factory=list)
     irq_context_locks: set[str] = field(default_factory=set)
+    double_acquires: list[LockAcquisition] = field(default_factory=list)
 
     @property
     def deadlock_free(self) -> bool:
-        return not self.order_violations
+        return not self.order_violations and not self.double_acquires
 
 
 def _lock_name(expr: ast.Expr) -> str:
@@ -54,37 +73,88 @@ def _lock_name(expr: ast.Expr) -> str:
     return render_expression(expr)
 
 
+def _join(a: LockState, b: LockState) -> LockState:
+    """Must-hold join: locks held on *both* paths, at their minimum depth."""
+    counts = dict(b)
+    return tuple((lock, min(count, counts[lock]))
+                 for lock, count in a if lock in counts)
+
+
+def _apply_element(state: LockState, expr: ast.Expr | None, function: str,
+                   sink: list[LockAcquisition] | None = None) -> LockState:
+    """Step the lock state over every call inside ``expr`` (in walk order)."""
+    if expr is None:
+        return state
+    for node in walk(expr):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
+            continue
+        callee = node.func.name
+        if callee in ACQUIRE_CALLS and node.args:
+            lock = _lock_name(node.args[0])
+            held = dict(state)
+            if sink is not None:
+                sink.append(LockAcquisition(
+                    function=function, lock=lock,
+                    irqsave=ACQUIRE_CALLS[callee],
+                    held_before=tuple(name for name, _ in state),
+                    location=node.location,
+                    reacquired=lock in held))
+            if lock in held:
+                state = tuple((name, count + 1 if name == lock else count)
+                              for name, count in state)
+            else:
+                state = state + ((lock, 1),)
+        elif callee in RELEASE_CALLS and node.args:
+            lock = _lock_name(node.args[0])
+            state = tuple((name, count - 1 if name == lock else count)
+                          for name, count in state
+                          if name != lock or count > 1)
+    return state
+
+
 def collect_acquisitions(program: Program,
                          functions: list[str] | None = None) -> list[LockAcquisition]:
     """Collect every lock acquisition, with the locks held at that point.
 
     Purely per-function work: ``functions`` restricts the scan so the engine
     can shard it by translation unit and concatenate the shard results.
+    ``held_before`` is flow-sensitive must-hold information: a lock acquired
+    on only one path to the site is not included.
     """
     acquisitions: list[LockAcquisition] = []
     for name, func in program.functions_subset(functions):
-        held: list[str] = []
-        for node in walk(func.body):
-            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
-                continue
-            callee = node.func.name
-            if callee in ACQUIRE_CALLS and node.args:
-                lock = _lock_name(node.args[0])
-                acquisitions.append(LockAcquisition(
-                    function=name, lock=lock,
-                    irqsave=ACQUIRE_CALLS[callee],
-                    held_before=tuple(held)))
-                held.append(lock)
-            elif callee in RELEASE_CALLS and node.args:
-                lock = _lock_name(node.args[0])
-                if lock in held:
-                    held.remove(lock)
+        if not any(isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
+                   and node.func.name in ACQUIRE_CALLS
+                   for node in walk(func.body)):
+            continue    # no acquisitions to record: skip the CFG + solve cost
+        cfg = build_cfg(func)
+
+        def transfer(block, state, _name=name):
+            for element in block.elements:
+                state = _apply_element(state, element.expr, _name)
+            return state
+
+        in_states = solve_forward(cfg, transfer, _join, entry_state=())
+        for block, state in reachable_blocks(cfg, in_states):
+            for element in block.elements:
+                state = _apply_element(state, element.expr, name,
+                                       sink=acquisitions)
     return acquisitions
+
+
+def _acquisition_sort_key(acquisition: LockAcquisition) -> tuple:
+    return (acquisition.function, acquisition.location.filename,
+            acquisition.location.line, acquisition.location.column,
+            acquisition.lock)
 
 
 def derive_report(acquisitions: list[LockAcquisition],
                   irq_functions: set[str] | None = None) -> LockReport:
-    """Derive the program-wide lock report from collected acquisitions."""
+    """Derive the program-wide lock report from collected acquisitions.
+
+    Findings lists come out sorted by (function, location) so that shard
+    merge order never changes the rendered report.
+    """
     report = LockReport()
     irq_functions = irq_functions or set()
     report.acquisitions = list(acquisitions)
@@ -94,6 +164,8 @@ def derive_report(acquisitions: list[LockAcquisition],
                 report.order_pairs.add((earlier, acquisition.lock))
         if acquisition.function in irq_functions:
             report.irq_context_locks.add(acquisition.lock)
+        if acquisition.reacquired:
+            report.double_acquires.append(acquisition)
     # Inconsistent ordering: both (A, B) and (B, A) observed.
     for first, second in sorted(report.order_pairs):
         if (second, first) in report.order_pairs and (second, first) > (first, second):
@@ -105,6 +177,9 @@ def derive_report(acquisitions: list[LockAcquisition],
                 and not acquisition.irqsave
                 and acquisition.function not in irq_functions):
             report.irq_violations.append(acquisition)
+    report.order_violations.sort()
+    report.irq_violations.sort(key=_acquisition_sort_key)
+    report.double_acquires.sort(key=_acquisition_sort_key)
     return report
 
 

@@ -106,7 +106,9 @@ def analyse_stack(program: Program, graph: CallGraph,
             callees = [c for c in graph.callees(current) if c in report.max_depth]
             if not callees:
                 break
-            next_callee = max(callees, key=lambda n: report.max_depth[n])
+            # Sorted so ties break alphabetically, not by hash-seed order:
+            # the rendered chain must be identical across runs.
+            next_callee = max(sorted(callees), key=lambda n: report.max_depth[n])
             if report.max_depth[next_callee] >= report.max_depth[current]:
                 break
             chain.append(next_callee)

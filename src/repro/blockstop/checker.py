@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..dataflow import build_cfg, reachable_blocks, solve_forward
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.errors import SourceLocation
@@ -47,6 +48,11 @@ IRQ_ENABLE_CALLS = frozenset({
 })
 #: Registration functions whose function-pointer argument runs in IRQ context.
 IRQ_HANDLER_REGISTRATION = frozenset({"request_irq", "register_irq_handler"})
+
+#: Widening cap on the abstract interrupt-disable nesting depth.  The scan
+#: only distinguishes 0 from >0; the cap keeps the lattice finite so a loop
+#: that disables without a matching enable still reaches a fixpoint.
+_DEPTH_CAP = 64
 
 
 @dataclass
@@ -163,7 +169,15 @@ class BlockStopChecker:
                                  runtime_checks=self.runtime_checks)
         result.irq_handlers = set(irq_handlers)
         self._scan_atomic_regions(result, blocking)
+        # (function, location) ordering: the rendered report must not depend
+        # on dict iteration or CFG block numbering details.
+        result.atomic_call_sites.sort(
+            key=lambda s: (s.caller, s.location.filename, s.location.line,
+                           s.location.column, s.callee))
         self._check_violations(result)
+        result.violations.sort(
+            key=lambda v: (v.caller, v.location.filename, v.location.line,
+                           v.location.column, v.callee))
         return result
 
     # -- atomic-region scan -------------------------------------------------------
@@ -179,26 +193,50 @@ class BlockStopChecker:
     def _scan_function(self, result: BlockStopResult, name: str,
                        func: ast.FuncDef, starts_atomic: bool,
                        blocking: BlockingInfo) -> None:
-        """Track the interrupt flag through the statement sequence.
+        """Track the interrupt flag flow-sensitively over the function's CFG.
 
-        The scan is a simple syntactic abstraction: a counter of nested
-        disables, updated in statement order, with branches explored with the
-        state they inherit.  This is how the per-function summaries feed the
-        interprocedural step (callees of an atomic call site inherit atomic
-        context through the call graph).
+        The abstract state is a counter of nested disables.  The join at
+        merge points is ``max`` — the paper's conservative "assume atomic if
+        any path is atomic" semantics — but, unlike the old linear statement
+        scan, a ``local_irq_save`` inside one arm of an ``if``/``else`` no
+        longer poisons the sibling arm, and an early return that re-enables
+        interrupts no longer hides the atomic region on the fall-through
+        path.  Loops iterate to a fixpoint; the depth is capped so an
+        unmatched disable inside a loop body still converges.  These
+        per-function atomic regions feed the interprocedural step (callees
+        of an atomic call site inherit atomic context through the graph).
         """
-        state = {"depth": 1 if starts_atomic else 0}
+        if not starts_atomic and not any(
+                isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
+                and node.func.name in IRQ_DISABLE_CALLS
+                for node in walk(func.body)):
+            return      # depth can never leave 0: skip the CFG + solve cost
+        cfg = build_cfg(func)
+        entry_depth = 1 if starts_atomic else 0
 
-        def visit_stmt(stmt: ast.Stmt) -> None:
-            for node in _statement_expressions(stmt):
-                self._scan_expr(result, name, node, state, blocking)
-            for child in _child_statements(stmt):
-                visit_stmt(child)
+        def transfer(block, depth: int) -> int:
+            for element in block.elements:
+                depth = self._apply_element(element.expr, depth)
+            return depth
 
-        visit_stmt(func.body)
+        in_states = solve_forward(cfg, transfer, max, entry_state=entry_depth)
+        for block, depth in reachable_blocks(cfg, in_states):
+            for element in block.elements:
+                depth = self._apply_element(element.expr, depth,
+                                            result=result, caller=name,
+                                            blocking=blocking)
 
-    def _scan_expr(self, result: BlockStopResult, caller: str,
-                   expr: ast.Expr, state: dict, blocking: BlockingInfo) -> None:
+    def _apply_element(self, expr: ast.Expr | None, depth: int,
+                       result: BlockStopResult | None = None,
+                       caller: str | None = None,
+                       blocking: BlockingInfo | None = None) -> int:
+        """Step the disable depth over every call inside ``expr``.
+
+        With ``result`` supplied this is the recording pass: calls made at
+        depth > 0 are appended as atomic call sites.
+        """
+        if expr is None:
+            return depth
         for node in walk(expr):
             if not isinstance(node, ast.Call):
                 continue
@@ -206,12 +244,12 @@ class BlockStopChecker:
             if isinstance(target, ast.Ident):
                 callee = target.name
                 if callee in IRQ_DISABLE_CALLS:
-                    state["depth"] += 1
+                    depth = min(depth + 1, _DEPTH_CAP)
                     continue
                 if callee in IRQ_ENABLE_CALLS:
-                    state["depth"] = max(0, state["depth"] - 1)
+                    depth = max(0, depth - 1)
                     continue
-                if state["depth"] > 0:
+                if depth > 0 and result is not None:
                     conditional = (callee in blocking.conditional_seeds
                                    and call_site_may_block(self.program, blocking, node))
                     result.atomic_call_sites.append(AtomicCallSite(
@@ -219,12 +257,13 @@ class BlockStopChecker:
                         location=node.location, indirect=False,
                         conditional_blocks=conditional))
             else:
-                if state["depth"] > 0:
+                if depth > 0 and result is not None:
                     # Indirect call in atomic context: all resolved callees
                     # from this caller are candidates.
                     result.atomic_call_sites.append(AtomicCallSite(
                         caller=caller, callee="<indirect>",
                         location=node.location, indirect=True))
+        return depth
 
     # -- violation detection --------------------------------------------------------
 
@@ -278,58 +317,6 @@ def _function_name_of(expr: ast.Expr, program: Program) -> str | None:
 
 def _contains_asm(func: ast.FuncDef) -> bool:
     return any(isinstance(node, ast.Asm) for node in walk(func.body))
-
-
-def _statement_expressions(stmt: ast.Stmt) -> list[ast.Expr]:
-    """The expressions evaluated directly by ``stmt`` (not via sub-statements)."""
-    exprs: list[ast.Expr] = []
-    if isinstance(stmt, ast.ExprStmt):
-        exprs.append(stmt.expr)
-    elif isinstance(stmt, ast.DeclStmt) and stmt.decl.init is not None:
-        exprs.extend(_initializer_expressions(stmt.decl.init))
-    elif isinstance(stmt, (ast.If, ast.While, ast.DoWhile, ast.Switch)):
-        exprs.append(stmt.cond)
-    elif isinstance(stmt, ast.For):
-        if isinstance(stmt.init, ast.Expr):
-            exprs.append(stmt.init)
-        elif isinstance(stmt.init, ast.Declaration) and stmt.init.init is not None:
-            exprs.extend(_initializer_expressions(stmt.init.init))
-        if stmt.cond is not None:
-            exprs.append(stmt.cond)
-        if stmt.step is not None:
-            exprs.append(stmt.step)
-    elif isinstance(stmt, ast.Return) and stmt.value is not None:
-        exprs.append(stmt.value)
-    return exprs
-
-
-def _initializer_expressions(init: ast.Initializer) -> list[ast.Expr]:
-    if init.is_list:
-        collected: list[ast.Expr] = []
-        for element in init.elements or []:
-            collected.extend(_initializer_expressions(element))
-        return collected
-    return [init.expr] if init.expr is not None else []
-
-
-def _child_statements(stmt: ast.Stmt) -> list[ast.Stmt]:
-    if isinstance(stmt, ast.Block):
-        return list(stmt.stmts)
-    if isinstance(stmt, ast.If):
-        children = [stmt.then]
-        if stmt.otherwise is not None:
-            children.append(stmt.otherwise)
-        return children
-    if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
-        return [stmt.body]
-    if isinstance(stmt, ast.Switch):
-        collected: list[ast.Stmt] = []
-        for case in stmt.cases:
-            collected.extend(case.stmts)
-        return collected
-    if isinstance(stmt, ast.Label) and stmt.stmt is not None:
-        return [stmt.stmt]
-    return []
 
 
 def run_blockstop(program: Program,

@@ -1,0 +1,37 @@
+"""Flow-sensitive dataflow core shared by every checker.
+
+The package has two halves:
+
+* :mod:`repro.dataflow.cfg` — a control-flow-graph builder over MiniC
+  function bodies: basic blocks for ``if``/``else``, loops, ``switch``,
+  early ``return``, ``break``/``continue`` and ``goto``/labels, with edges
+  carrying branch information.
+* :mod:`repro.dataflow.solver` — a small forward-dataflow fixpoint solver:
+  lattice join at merge points, loop iteration to a fixpoint, plus the
+  replay helper the analyses use to record facts against the solved
+  per-block input states.
+
+The flat ``walk()`` scans the checkers used before this package existed let
+analysis state leak across exclusive branches (a lock taken in a then-branch
+was "held" in the else-branch).  Running on the CFG, each branch is analysed
+with exactly the state that reaches it, and merge points combine the branch
+states through an analysis-chosen join.
+"""
+
+from .cfg import COND, DECL, EXPR, RETURN, CFG, BasicBlock, Edge, Element, build_cfg
+from .solver import FixpointDivergence, reachable_blocks, solve_forward
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "COND",
+    "DECL",
+    "EXPR",
+    "RETURN",
+    "Edge",
+    "Element",
+    "build_cfg",
+    "FixpointDivergence",
+    "reachable_blocks",
+    "solve_forward",
+]

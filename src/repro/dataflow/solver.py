@@ -1,0 +1,94 @@
+"""A forward-dataflow fixpoint solver over :mod:`repro.dataflow.cfg` graphs.
+
+The solver is deliberately small: an analysis supplies
+
+* ``entry_state`` — the abstract state at function entry;
+* ``transfer(block, state)`` — a *pure* function returning the state after
+  executing every element of ``block`` on ``state``;
+* ``join(a, b)`` — the lattice join applied where control-flow paths merge.
+
+``solve_forward`` runs a worklist iteration until no block's input state
+changes, which handles loops (back edges feed the loop header until the
+fixpoint) and if/else merges (both arms joined, never leaked into each
+other).  Unreachable blocks keep the input state ``None`` (bottom): the
+transfer function is never applied to them and joins ignore them.
+
+Termination is the analysis's responsibility in principle (states must stop
+changing), but all the repro's lattices are finite; a generous iteration
+cap turns a non-converging transfer into a loud error instead of a hang.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterator, Optional
+
+from .cfg import CFG, BasicBlock
+
+TransferFn = Callable[[BasicBlock, Any], Any]
+JoinFn = Callable[[Any, Any], Any]
+
+#: Upper bound on worklist pops per block before declaring divergence.
+MAX_VISITS_PER_BLOCK = 1000
+
+
+class FixpointDivergence(RuntimeError):
+    """Raised when a transfer/join pair fails to converge (lattice bug)."""
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: TransferFn,
+    join: JoinFn,
+    entry_state: Any,
+) -> list[Optional[Any]]:
+    """Solve a forward dataflow problem; returns per-block *input* states.
+
+    The result is indexed by block index; ``None`` marks blocks no path
+    reaches.  Output states are recomputed on demand by re-applying
+    ``transfer`` (see :func:`iter_elements` for the recording pass).
+    """
+    in_states: list[Optional[Any]] = [None] * len(cfg.blocks)
+    in_states[cfg.entry] = entry_state
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    visits = 0
+    budget = MAX_VISITS_PER_BLOCK * max(1, len(cfg.blocks))
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        visits += 1
+        if visits > budget:
+            raise FixpointDivergence(
+                f"dataflow did not converge in {cfg.function} "
+                f"({len(cfg.blocks)} blocks, {visits} visits)"
+            )
+        out_state = transfer(cfg.blocks[index], in_states[index])
+        for edge in cfg.blocks[index].succs:
+            current = in_states[edge.target]
+            merged = out_state if current is None else join(current, out_state)
+            if merged != current:
+                in_states[edge.target] = merged
+                if edge.target not in queued:
+                    queued.add(edge.target)
+                    worklist.append(edge.target)
+    return in_states
+
+
+def reachable_blocks(
+    cfg: CFG,
+    in_states: list[Optional[Any]],
+) -> Iterator[tuple[BasicBlock, Any]]:
+    """Yield ``(block, input_state)`` for every reachable block, in index order.
+
+    This drives the recording pass: after :func:`solve_forward` converges,
+    an analysis replays each reachable block exactly once, stepping its own
+    per-element transfer from the solved input state to emit facts
+    (acquisition sites, atomic call sites, checked variables) against the
+    exact state that reaches each element.  Block-index order makes the
+    emitted facts deterministic and approximately source-ordered.
+    """
+    for block in cfg.blocks:
+        state = in_states[block.index]
+        if state is not None:
+            yield block, state

@@ -35,6 +35,7 @@ from ..ccount.delayed_free import (
 )
 from ..ccount.instrument import instrument_copy as ccount_instrument_copy
 from ..deputy.checker import DeputyOptions, ObligationStatus, check_program
+from ..minic.errors import SourceLocation
 from .artifacts import SharedArtifacts
 
 Finding = dict  # normalized: analysis, kind, function, file, line, message
@@ -187,18 +188,22 @@ class ErrcheckAnalysis(EngineAnalysis):
                                  call.caller, call.location,
                                  f"result of {call.callee}() {call.reason}")
                     for call in report.unchecked]
-        return {"findings": findings, "checked_calls": report.checked_calls}
+        return {"findings": findings, "checked_calls": report.checked_calls,
+                "passed_to_callee": report.passed_to_callee}
 
     def merge(self, artifacts, payloads):
         report = AnalysisReport(name=self.name)
         checked = 0
+        passed = 0
         for payload in payloads:
             report.findings.extend(payload["findings"])
             checked += payload["checked_calls"]
+            passed += payload.get("passed_to_callee", 0)
         report.findings.sort(key=finding_sort_key)
         report.metrics = {
             "error_returning_functions": len(artifacts.error_returning),
             "checked_calls": checked,
+            "passed_to_callee": passed,
             "unchecked_calls": len(report.findings),
         }
         return report
@@ -214,7 +219,9 @@ class LockcheckAnalysis(EngineAnalysis):
         acquisitions = collect_acquisitions(artifacts.program, functions=functions)
         return {"acquisitions": [
             {"function": acq.function, "lock": acq.lock, "irqsave": acq.irqsave,
-             "held_before": list(acq.held_before)}
+             "held_before": list(acq.held_before),
+             "file": acq.location.filename, "line": acq.location.line,
+             "column": acq.location.column, "reacquired": acq.reacquired}
             for acq in acquisitions
         ]}
 
@@ -222,7 +229,11 @@ class LockcheckAnalysis(EngineAnalysis):
         acquisitions = [
             LockAcquisition(function=raw["function"], lock=raw["lock"],
                             irqsave=raw["irqsave"],
-                            held_before=tuple(raw["held_before"]))
+                            held_before=tuple(raw["held_before"]),
+                            location=SourceLocation(raw.get("file", "<unknown>"),
+                                                    raw.get("line", 0),
+                                                    raw.get("column", 0)),
+                            reacquired=raw.get("reacquired", False))
             for payload in payloads for raw in payload["acquisitions"]
         ]
         lock_report = derive_report(acquisitions,
@@ -235,15 +246,21 @@ class LockcheckAnalysis(EngineAnalysis):
                 f"{second} -> {first} both observed"))
         for acq in lock_report.irq_violations:
             report.findings.append(make_finding(
-                self.name, "irq-discipline", acq.function, None,
+                self.name, "irq-discipline", acq.function, acq.location,
                 f"{acq.lock} is taken in interrupt context but acquired with "
                 f"plain spin_lock in {acq.function}"))
+        for acq in lock_report.double_acquires:
+            report.findings.append(make_finding(
+                self.name, "double-acquire", acq.function, acq.location,
+                f"{acq.lock} is acquired while already held in "
+                f"{acq.function} (self-deadlock on a non-recursive lock)"))
         report.findings.sort(key=finding_sort_key)
         report.metrics = {
             "acquisitions": len(lock_report.acquisitions),
             "order_pairs": len(lock_report.order_pairs),
             "order_violations": len(lock_report.order_violations),
             "irq_violations": len(lock_report.irq_violations),
+            "double_acquires": len(lock_report.double_acquires),
             "irq_context_locks": len(lock_report.irq_context_locks),
         }
         return report

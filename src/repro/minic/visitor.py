@@ -86,6 +86,21 @@ class Transformer:
                 setattr(node, spec.name, new_items)
 
 
+def initializer_expressions(init: ast.Initializer) -> list[ast.Expr]:
+    """Every scalar expression inside an initializer (flattening brace lists).
+
+    Lifted out of the BlockStop checker: control-flow construction
+    (:mod:`repro.dataflow.cfg`) needs the expressions a declaration actually
+    evaluates, which the generic ``iter_child_nodes`` does not isolate.
+    """
+    if init.is_list:
+        collected: list[ast.Expr] = []
+        for element in init.elements or []:
+            collected.extend(initializer_expressions(element))
+        return collected
+    return [init.expr] if init.expr is not None else []
+
+
 def collect(node: ast.Node, node_type: type) -> list[ast.Node]:
     """Collect all descendants of ``node`` that are instances of ``node_type``."""
     return [n for n in walk(node) if isinstance(n, node_type)]

@@ -151,6 +151,28 @@ class TestParallel:
     def test_jobs_one_stays_serial(self, engine_report):
         assert not engine_report.parallel
 
+    def test_report_rendering_byte_identical_serial_vs_parallel(
+            self, engine_report, tmp_path, capsys):
+        """Shard merge order must never change the rendered report.
+
+        Findings inside every analysis are sorted by (function, location)
+        before rendering, so `repro-engine report` over a --jobs 4 run is
+        byte-identical to the --jobs 1 run once the run metadata (timing,
+        worker count) — which legitimately differs — is normalized.
+        """
+        parallel = AnalysisEngine().run(analyses="all", jobs=4)
+        assert parallel.parallel
+        renders = []
+        for report in (engine_report, parallel):
+            payload = report.to_dict()
+            for key in ("jobs", "parallel", "elapsed_seconds", "cache_stats"):
+                payload.pop(key, None)
+            path = tmp_path / f"report-{len(renders)}.json"
+            path.write_text(json.dumps(payload, sort_keys=True))
+            assert cli_main(["report", str(path), "--format", "text"]) == 0
+            renders.append(capsys.readouterr().out.encode())
+        assert renders[0] == renders[1]
+
 
 # ---------------------------------------------------------------------------
 # Equivalence with the standalone checkers
