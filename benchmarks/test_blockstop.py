@@ -9,7 +9,12 @@ stay reported.
 """
 
 from repro.benchutil import run_once
-from repro.harness import PAPER_BLOCKSTOP, SEEDED_BUG_CALLERS, run_blockstop_eval
+from repro.harness import (
+    ALL_SEEDED_CALLERS,
+    INTERPROC_BUG_CALLERS,
+    PAPER_BLOCKSTOP,
+    run_blockstop_eval,
+)
 
 
 def test_blockstop_bugs_and_false_positives(benchmark):
@@ -18,14 +23,16 @@ def test_blockstop_bugs_and_false_positives(benchmark):
     print(result.before)
     print(f"runtime checks inserted: {len(result.runtime_checks)}")
     print(f"violations after checks: {result.after.violations_reported}")
-    # Both seeded bugs are found.
+    # Both of the paper's seeded bugs are found, plus the seeded
+    # interprocedural one (atomic only through the callee's IRQ delta).
     assert result.real_bugs_found == PAPER_BLOCKSTOP["real_bugs"] == 2
+    assert result.interproc_bugs_found == len(INTERPROC_BUG_CALLERS) == 1
     # The conservative points-to analysis produces false positives.
     assert len(result.false_positive_callees) >= 10
     # The manual run-time checks (paper: 15) silence all of them.
     assert 10 <= len(result.runtime_checks) <= 20
-    assert {v.caller for v in result.after.reported} <= SEEDED_BUG_CALLERS
-    assert result.after.violations_reported == 2
+    assert {v.caller for v in result.after.reported} <= ALL_SEEDED_CALLERS
+    assert result.after.violations_reported == 2 + len(INTERPROC_BUG_CALLERS)
     assert result.after.violations_silenced >= len(result.runtime_checks)
     assert result.shape_holds()
 

@@ -8,9 +8,12 @@ from .errcheck import (
 )
 from .lockcheck import (
     LockAcquisition,
+    LockFacts,
+    LockLeak,
     LockReport,
     analyse_locks,
     collect_acquisitions,
+    collect_lock_facts,
     derive_report,
 )
 from .stackcheck import KERNEL_STACK_BYTES, StackReport, analyse_stack, frame_size
@@ -18,7 +21,7 @@ from .stackcheck import KERNEL_STACK_BYTES, StackReport, analyse_stack, frame_si
 __all__ = [
     "ErrcheckReport", "UncheckedCall", "analyse_error_checks",
     "find_error_returning_functions",
-    "LockAcquisition", "LockReport", "analyse_locks",
-    "collect_acquisitions", "derive_report",
+    "LockAcquisition", "LockFacts", "LockLeak", "LockReport", "analyse_locks",
+    "collect_acquisitions", "collect_lock_facts", "derive_report",
     "KERNEL_STACK_BYTES", "StackReport", "analyse_stack", "frame_size",
 ]

@@ -66,22 +66,31 @@ class ErrcheckReport:
         return len(self.unchecked)
 
 
-def find_error_returning_functions(program: Program) -> set[str]:
-    """Functions that may return a negative error constant."""
+def find_error_returning_functions(
+        program: Program,
+        summaries: "dict[str, FunctionSummary] | None" = None) -> set[str]:
+    """Functions that may return a negative error constant.
+
+    Derived from the interprocedural summaries: a function is
+    error-returning when it is annotated ``errcodes(...)``, returns a
+    negative constant directly, or *propagates* a callee's error return
+    (``return helper();``) — the summary's error-return set carries the
+    codes bottom-up through the call graph, so wrappers inherit the
+    obligation their helpers create instead of silently laundering it.
+    """
     result: set[str] = set()
     for name in program.all_function_names():
         annotations = program.function_annotations(name)
         if annotations.has(AnnotationKind.ERRCODES):
             result.add(name)
-    for name, func in program.functions.items():
-        for node in walk(func.body):
-            if isinstance(node, ast.Return) and node.value is not None:
-                value = node.value
-                if (isinstance(value, ast.Unary) and value.op == "-"
-                        and isinstance(value.operand, ast.IntLit)
-                        and value.operand.value > 0):
-                    result.add(name)
-                    break
+    if summaries is None:
+        from ..blockstop.callgraph import build_direct_callgraph
+        from ..dataflow.interproc import solve_summaries
+
+        graph, _ = build_direct_callgraph(program)
+        summaries = solve_summaries(program, graph)
+    result |= {name for name, summary in summaries.items()
+               if summary.error_returns and summary.defined}
     return result
 
 

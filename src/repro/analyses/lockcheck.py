@@ -1,7 +1,7 @@
-"""Future analysis (§3.1): hybrid lock-safety checking.
+"""Future analysis (§3.1): hybrid lock-safety checking, now interprocedural.
 
-Two properties are checked statically over the call-free, intraprocedural
-lock behaviour of each function, then summarised program-wide:
+Two properties are checked statically over each function's lock behaviour,
+then summarised program-wide:
 
 * **Lock ordering** — if one function acquires lock A and then lock B while a
   different code path acquires B and then A, the pair is reported as a
@@ -11,14 +11,25 @@ lock behaviour of each function, then summarised program-wide:
   context; taking it with plain ``spin_lock`` is reported.
 
 The per-function scan is flow-sensitive: it runs on the shared CFG +
-fixpoint solver (:mod:`repro.dataflow`).  The abstract state is the
-*must-hold* multiset of locks — a tuple of ``(lock, count)`` pairs in
-first-acquisition order — and the join at merge points is intersection with
-minimum counts, so a lock taken on only one arm of an ``if``/``else`` is not
-"held" in the sibling arm or after the merge.  Counts make nested
-re-acquisition of the same lock balance correctly (each release undoes one
-acquire) and surface a double-acquire diagnostic (self-deadlock on a
-non-recursive spinlock).
+fixpoint solver (:mod:`repro.dataflow`).  The abstract state pairs the
+*must-hold* multiset of locks — ``(lock, count)`` pairs whose join at merge
+points is intersection with minimum counts — with a *may-hold* set (join =
+union) that tracks locks possibly held on some path.
+
+Since the interprocedural summary framework
+(:mod:`repro.dataflow.interproc`) the scan also applies each callee's
+:class:`~repro.dataflow.summaries.FunctionSummary` at its call site, which
+adds two whole-program findings the paper's sound-analysis story needs:
+
+* ``returns-with-lock-held`` — a lock may-held at some return but not
+  must-held at every return: an early-return path leaked it.  The leak
+  propagates: a caller of the leaking helper inherits the may-held lock and
+  is reported too (deliberate lock wrappers, which hold on *every* path,
+  are their callers' contract and are not reported).
+* interprocedural ``double-acquire`` — a call made while holding lock L to
+  a callee whose summary says it may (transitively) acquire L again:
+  self-deadlock on a non-recursive spinlock, invisible to any purely
+  intraprocedural scan.
 """
 
 from __future__ import annotations
@@ -26,17 +37,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataflow import build_cfg, reachable_blocks, solve_forward
+from ..dataflow.summaries import (
+    LOCK_ACQUIRE_CALLS,
+    LOCK_RELEASE_CALLS,
+    FunctionSummary,
+    lock_name_of,
+)
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.errors import SourceLocation
 from ..minic.visitor import walk
 
-ACQUIRE_CALLS = {"spin_lock": False, "spin_lock_irqsave": True, "spin_lock_irq": True}
-RELEASE_CALLS = {"spin_unlock", "spin_unlock_irqrestore", "spin_unlock_irq"}
+#: Legacy names (pre-summary-framework); the tables live in the shared
+#: summary domain now so the interprocedural sweep and this checker agree.
+ACQUIRE_CALLS = LOCK_ACQUIRE_CALLS
+RELEASE_CALLS = LOCK_RELEASE_CALLS
 
-#: Abstract state: locks definitely held, with nesting counts, in
-#: first-acquisition order.  Immutable so the solver can compare states.
-LockState = tuple[tuple[str, int], ...]
+#: Abstract state: (must-hold multiset in first-acquisition order,
+#: may-hold lock-name frozenset).  Immutable so the solver compares states.
+LockState = tuple[tuple[tuple[str, int], ...], frozenset]
+
+_ENTRY_STATE: LockState = ((), frozenset())
 
 
 @dataclass(frozen=True)
@@ -49,6 +70,26 @@ class LockAcquisition:
     held_before: tuple[str, ...]
     location: SourceLocation = field(default_factory=SourceLocation)
     reacquired: bool = False    # the same lock was already held at this site
+    via_callee: str = ""        # summary-applied: the callee that acquires
+
+
+@dataclass(frozen=True)
+class LockLeak:
+    """A function that may return with a lock still held."""
+
+    function: str
+    lock: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    via_callee: str = ""        # inherited from this callee's leak, if any
+
+
+@dataclass
+class LockFacts:
+    """Everything one scan pass collected (shard payload granularity)."""
+
+    acquisitions: list[LockAcquisition] = field(default_factory=list)
+    interproc_acquires: list[LockAcquisition] = field(default_factory=list)
+    leaks: list[LockLeak] = field(default_factory=list)
 
 
 @dataclass
@@ -61,6 +102,7 @@ class LockReport:
     irq_violations: list[LockAcquisition] = field(default_factory=list)
     irq_context_locks: set[str] = field(default_factory=set)
     double_acquires: list[LockAcquisition] = field(default_factory=list)
+    leaked_returns: list[LockLeak] = field(default_factory=list)
 
     @property
     def deadlock_free(self) -> bool:
@@ -69,77 +111,169 @@ class LockReport:
 
 def _lock_name(expr: ast.Expr) -> str:
     """A stable name for the lock argument expression."""
-    from ..minic.pretty import render_expression
-    return render_expression(expr)
+    return lock_name_of(expr)
 
 
 def _join(a: LockState, b: LockState) -> LockState:
-    """Must-hold join: locks held on *both* paths, at their minimum depth."""
-    counts = dict(b)
-    return tuple((lock, min(count, counts[lock]))
-                 for lock, count in a if lock in counts)
+    """Must-hold intersection at minimum depth; may-hold union."""
+    must_a, may_a = a
+    must_b, may_b = b
+    counts = dict(must_b)
+    must = tuple((lock, min(count, counts[lock]))
+                 for lock, count in must_a if lock in counts)
+    return (must, may_a | may_b)
 
 
-def _apply_element(state: LockState, expr: ast.Expr | None, function: str,
-                   sink: list[LockAcquisition] | None = None) -> LockState:
-    """Step the lock state over every call inside ``expr`` (in walk order)."""
-    if expr is None:
+class _FunctionScan:
+    """One function's flow-sensitive lock scan (solve + recording pass)."""
+
+    def __init__(self, function: str,
+                 summaries: dict[str, FunctionSummary] | None) -> None:
+        self.function = function
+        self.summaries = summaries or {}
+        self.facts: LockFacts | None = None    # set during the recording pass
+        #: Where each may-held lock first appeared (acquisition or call site).
+        self.may_origin: dict[str, tuple[SourceLocation, str]] = {}
+
+    def apply_element(self, state: LockState,
+                      expr: ast.Expr | None) -> LockState:
+        """Step the state over every call inside ``expr`` (in walk order)."""
+        if expr is None:
+            return state
+        for node in walk(expr):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
+                continue
+            state = self._apply_call(state, node)
         return state
-    for node in walk(expr):
-        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
-            continue
+
+    def _apply_call(self, state: LockState, node: ast.Call) -> LockState:
+        must, may = state
         callee = node.func.name
         if callee in ACQUIRE_CALLS and node.args:
             lock = _lock_name(node.args[0])
-            held = dict(state)
-            if sink is not None:
-                sink.append(LockAcquisition(
-                    function=function, lock=lock,
+            held = dict(must)
+            if self.facts is not None:
+                self.facts.acquisitions.append(LockAcquisition(
+                    function=self.function, lock=lock,
                     irqsave=ACQUIRE_CALLS[callee],
-                    held_before=tuple(name for name, _ in state),
+                    held_before=tuple(name for name, _ in must),
                     location=node.location,
                     reacquired=lock in held))
+                self.may_origin.setdefault(lock, (node.location, ""))
             if lock in held:
-                state = tuple((name, count + 1 if name == lock else count)
-                              for name, count in state)
+                must = tuple((name, count + 1 if name == lock else count)
+                             for name, count in must)
             else:
-                state = state + ((lock, 1),)
-        elif callee in RELEASE_CALLS and node.args:
+                must = must + ((lock, 1),)
+            return (must, may | {lock})
+        if callee in RELEASE_CALLS and node.args:
             lock = _lock_name(node.args[0])
-            state = tuple((name, count - 1 if name == lock else count)
-                          for name, count in state
-                          if name != lock or count > 1)
-    return state
+            must = tuple((name, count - 1 if name == lock else count)
+                         for name, count in must
+                         if name != lock or count > 1)
+            return (must, may - {lock})
+        summary = self.summaries.get(callee)
+        if summary is None or summary.trivial_lock_effect:
+            return state
+        held = dict(must)
+        if self.facts is not None:
+            # Interprocedural double-acquire: the callee may (transitively)
+            # take a lock this caller already holds.
+            for lock in summary.acquires:
+                if held.get(lock, 0) > 0:
+                    self.facts.interproc_acquires.append(LockAcquisition(
+                        function=self.function, lock=lock,
+                        irqsave=False,
+                        held_before=tuple(name for name, _ in must),
+                        location=node.location,
+                        reacquired=True, via_callee=callee))
+        for lock, count in summary.locks_released:
+            must = tuple((name, c - count if name == lock else c)
+                         for name, c in must
+                         if name != lock or c > count)
+            may = may - {lock}
+        for lock, count in summary.locks_held:
+            if lock in dict(must):
+                must = tuple((name, c + count if name == lock else c)
+                             for name, c in must)
+            else:
+                must = must + ((lock, count),)
+            may = may | {lock}
+            if self.facts is not None:
+                self.may_origin.setdefault(lock, (node.location, callee))
+        for lock in summary.may_return_held:
+            may = may | {lock}
+            if self.facts is not None:
+                self.may_origin.setdefault(lock, (node.location, callee))
+        return (must, may)
 
 
-def collect_acquisitions(program: Program,
-                         functions: list[str] | None = None) -> list[LockAcquisition]:
-    """Collect every lock acquisition, with the locks held at that point.
+def collect_lock_facts(program: Program,
+                       functions: list[str] | None = None,
+                       summaries: dict[str, FunctionSummary] | None = None,
+                       ) -> LockFacts:
+    """Collect acquisitions, interprocedural re-acquisitions, and leaks.
 
     Purely per-function work: ``functions`` restricts the scan so the engine
     can shard it by translation unit and concatenate the shard results.
     ``held_before`` is flow-sensitive must-hold information: a lock acquired
-    on only one path to the site is not included.
+    on only one path to the site is not included.  With ``summaries``
+    supplied, callee lock deltas are applied at call sites; without them the
+    scan degrades to the purely intraprocedural behaviour.
     """
-    acquisitions: list[LockAcquisition] = []
+    summaries = summaries or {}
+    facts = LockFacts()
     for name, func in program.functions_subset(functions):
-        if not any(isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
-                   and node.func.name in ACQUIRE_CALLS
-                   for node in walk(func.body)):
-            continue    # no acquisitions to record: skip the CFG + solve cost
+        if not _scan_relevant(func, summaries):
+            continue    # nothing can move the lock state: skip CFG + solve
+        scan = _FunctionScan(name, summaries)
         cfg = build_cfg(func)
 
-        def transfer(block, state, _name=name):
+        def transfer(block, state, _scan=scan):
             for element in block.elements:
-                state = _apply_element(state, element.expr, _name)
+                state = _scan.apply_element(state, element.expr)
             return state
 
-        in_states = solve_forward(cfg, transfer, _join, entry_state=())
+        in_states = solve_forward(cfg, transfer, _join,
+                                  entry_state=_ENTRY_STATE)
+        scan.facts = facts
         for block, state in reachable_blocks(cfg, in_states):
             for element in block.elements:
-                state = _apply_element(state, element.expr, name,
-                                       sink=acquisitions)
-    return acquisitions
+                state = scan.apply_element(state, element.expr)
+        exit_state = in_states[cfg.exit]
+        if exit_state is not None:
+            must_exit, may_exit = exit_state
+            held_on_all = {lock for lock, count in must_exit if count > 0}
+            for lock in sorted(may_exit - held_on_all):
+                location, via = scan.may_origin.get(
+                    lock, (func.location, ""))
+                facts.leaks.append(LockLeak(
+                    function=name, lock=lock, location=location,
+                    via_callee=via))
+    return facts
+
+
+def _scan_relevant(func: ast.FuncDef,
+                   summaries: dict[str, FunctionSummary]) -> bool:
+    """Whether any call in ``func`` can move the lock state."""
+    for node in walk(func.body):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
+            continue
+        name = node.func.name
+        if name in ACQUIRE_CALLS:
+            return True
+        summary = summaries.get(name)
+        if summary is not None and not summary.trivial_lock_effect:
+            return True
+    return False
+
+
+def collect_acquisitions(program: Program,
+                         functions: list[str] | None = None,
+                         summaries: dict[str, FunctionSummary] | None = None,
+                         ) -> list[LockAcquisition]:
+    """Backwards-compatible view of :func:`collect_lock_facts`."""
+    return collect_lock_facts(program, functions, summaries).acquisitions
 
 
 def _acquisition_sort_key(acquisition: LockAcquisition) -> tuple:
@@ -148,12 +282,22 @@ def _acquisition_sort_key(acquisition: LockAcquisition) -> tuple:
             acquisition.lock)
 
 
+def _leak_sort_key(leak: LockLeak) -> tuple:
+    return (leak.function, leak.location.filename, leak.location.line,
+            leak.location.column, leak.lock)
+
+
 def derive_report(acquisitions: list[LockAcquisition],
-                  irq_functions: set[str] | None = None) -> LockReport:
-    """Derive the program-wide lock report from collected acquisitions.
+                  irq_functions: set[str] | None = None,
+                  interproc_acquires: list[LockAcquisition] | None = None,
+                  leaks: list[LockLeak] | None = None) -> LockReport:
+    """Derive the program-wide lock report from collected facts.
 
     Findings lists come out sorted by (function, location) so that shard
-    merge order never changes the rendered report.
+    merge order never changes the rendered report.  Summary-applied
+    re-acquisitions join the intraprocedural ones in ``double_acquires``;
+    they deliberately do *not* feed ``order_pairs`` (callee acquisition
+    order is not observed, only membership).
     """
     report = LockReport()
     irq_functions = irq_functions or set()
@@ -166,6 +310,8 @@ def derive_report(acquisitions: list[LockAcquisition],
             report.irq_context_locks.add(acquisition.lock)
         if acquisition.reacquired:
             report.double_acquires.append(acquisition)
+    report.double_acquires.extend(interproc_acquires or [])
+    report.leaked_returns = sorted(leaks or [], key=_leak_sort_key)
     # Inconsistent ordering: both (A, B) and (B, A) observed.
     for first, second in sorted(report.order_pairs):
         if (second, first) in report.order_pairs and (second, first) > (first, second):
@@ -184,6 +330,30 @@ def derive_report(acquisitions: list[LockAcquisition],
 
 
 def analyse_locks(program: Program,
-                  irq_functions: set[str] | None = None) -> LockReport:
-    """Run the lock-safety analysis over every function of ``program``."""
-    return derive_report(collect_acquisitions(program), irq_functions)
+                  irq_functions: set[str] | None = None,
+                  summaries: dict[str, FunctionSummary] | None = None,
+                  ) -> LockReport:
+    """Run the lock-safety analysis over every function of ``program``.
+
+    When ``summaries`` is not supplied, the interprocedural summaries are
+    computed here (points-to-resolved call graph, SCC-ordered sweep) so the
+    standalone entry point reports exactly what the engine does.
+    """
+    if summaries is None:
+        summaries = _build_summaries(program)
+    facts = collect_lock_facts(program, summaries=summaries)
+    return derive_report(facts.acquisitions, irq_functions,
+                         interproc_acquires=facts.interproc_acquires,
+                         leaks=facts.leaks)
+
+
+def _build_summaries(program: Program) -> dict[str, FunctionSummary]:
+    from ..blockstop.callgraph import build_direct_callgraph
+    from ..blockstop.pointsto import FunctionPointerAnalysis, Precision
+    from ..dataflow.interproc import solve_summaries
+
+    graph, indirect_calls = build_direct_callgraph(program)
+    pointsto = FunctionPointerAnalysis(program, Precision.TYPE_BASED)
+    pointsto.collect()
+    pointsto.resolve(graph, indirect_calls)
+    return solve_summaries(program, graph)

@@ -4,21 +4,30 @@ Given the (BlockStop) call graph and a per-function stack-frame estimate, the
 longest call chain must fit in the kernel's 4 or 8 kB stack.  Recursive
 cycles cannot be bounded statically and are reported as needing a run-time
 check, exactly as the paper proposes.
+
+Since the interprocedural summary framework this analysis no longer keeps a
+private depth-first cycle detector: recursion is read off the shared SCC
+condensation (:func:`repro.dataflow.interproc.condense_callgraph` — any
+function in a non-trivial component or with a self loop), and the worst-case
+depth is the ``stack_depth`` the bottom-up summary sweep already computed
+(frame size + deepest bounded callee chain, callees-first over the
+condensation).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..annotations.attrs import AnnotationKind
 from ..blockstop.callgraph import CallGraph
-from ..machine.interpreter import ctype_size
+from ..dataflow.interproc import Condensation, condense_callgraph, solve_summaries
+from ..dataflow.summaries import (
+    FRAME_OVERHEAD,
+    FunctionSummary,
+    function_frame_size,
+)
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
-from ..minic.visitor import walk
 
-#: Fixed per-call overhead (saved registers, return address), in bytes.
-FRAME_OVERHEAD = 32
 KERNEL_STACK_BYTES = 8 * 1024
 
 
@@ -50,60 +59,50 @@ def frame_size(program: Program, func: ast.FuncDef) -> int:
     """Estimate one function's stack frame: locals + parameters + overhead.
 
     A ``stacksize(n)`` annotation overrides the estimate, mirroring the
-    paper's "stack space annotations on each function".
+    paper's "stack space annotations on each function".  (The estimator
+    itself lives in the shared summary domain; this is the historical
+    entry point.)
     """
-    annotation = program.function_annotations(func.name).get(AnnotationKind.STACKSIZE)
-    if annotation is not None and annotation.args:
-        arg = annotation.args[0]
-        if isinstance(arg, ast.IntLit):
-            return arg.value
-    total = FRAME_OVERHEAD
-    ftype = func.type.strip()
-    for param in getattr(ftype, "params", []):
-        total += max(ctype_size(param.type), 4)
-    for node in walk(func.body):
-        if isinstance(node, ast.Declaration) and not node.is_typedef:
-            try:
-                total += max(ctype_size(node.type), 4)
-            except Exception:
-                total += 4
-    return total
+    return function_frame_size(program, func)
 
 
 def analyse_stack(program: Program, graph: CallGraph,
-                  stack_limit: int = KERNEL_STACK_BYTES) -> StackReport:
-    """Compute worst-case stack depth for every function."""
+                  stack_limit: int = KERNEL_STACK_BYTES,
+                  summaries: dict[str, FunctionSummary] | None = None,
+                  condensation: Condensation | None = None) -> StackReport:
+    """Compute worst-case stack depth for every function.
+
+    ``summaries``/``condensation`` may be supplied pre-built (the engine
+    shares them with every other analysis); the standalone entry point
+    derives them from the given call graph.
+    """
+    if condensation is None:
+        condensation = condense_callgraph(graph)
+    if summaries is None:
+        summaries = solve_summaries(program, graph, condensation)
+
     report = StackReport(stack_limit=stack_limit)
-    for name, func in program.functions.items():
-        report.frame_sizes[name] = frame_size(program, func)
-
-    # Depth-first longest-path with cycle detection.
-    def depth_of(name: str, visiting: tuple[str, ...]) -> int:
-        if name in visiting:
-            report.recursive_functions.add(name)
-            return 0
-        cached = report.max_depth.get(name)
-        if cached is not None:
-            return cached
-        own = report.frame_sizes.get(name, FRAME_OVERHEAD)
-        deepest = 0
-        for callee in sorted(graph.callees(name)):
-            if callee not in report.frame_sizes:
-                continue
-            deepest = max(deepest, depth_of(callee, visiting + (name,)))
-        total = own + deepest
-        report.max_depth[name] = total
-        return total
-
-    for name in sorted(report.frame_sizes):
-        depth_of(name, ())
+    report.recursive_functions = {
+        name for name in condensation.recursive_functions()
+        if name in program.functions}
+    for name in program.functions:
+        summary = summaries.get(name)
+        if summary is not None and summary.defined:
+            report.frame_sizes[name] = summary.frame_size
+            report.max_depth[name] = summary.stack_depth
+        else:   # pragma: no cover - every defined function has a summary
+            report.frame_sizes[name] = FRAME_OVERHEAD
+            report.max_depth[name] = FRAME_OVERHEAD
 
     # Reconstruct the deepest chain for the report.
     if report.max_depth:
-        current = max(report.max_depth, key=lambda n: report.max_depth[n])
+        current = max(sorted(report.max_depth),
+                      key=lambda n: report.max_depth[n])
         chain = [current]
         while True:
-            callees = [c for c in graph.callees(current) if c in report.max_depth]
+            scc = set(condensation.members(current))
+            callees = [c for c in graph.callees(current)
+                       if c in report.max_depth and c not in scc]
             if not callees:
                 break
             # Sorted so ties break alphabetically, not by hash-seed order:

@@ -5,9 +5,8 @@ from .blocking import (
     GFP_WAIT_BIT,
     call_site_may_block,
     collect_seeds,
+    derive_blocking,
     emit_annotations,
-    propagate_blocking,
-    propagate_over_graph,
 )
 from .callgraph import CallGraph, CallSite, IndirectCall, build_direct_callgraph
 from .checker import (
@@ -30,7 +29,7 @@ from .runtime_checks import (
 
 __all__ = [
     "BlockingInfo", "GFP_WAIT_BIT", "call_site_may_block", "collect_seeds",
-    "emit_annotations", "propagate_blocking", "propagate_over_graph",
+    "derive_blocking", "emit_annotations",
     "CallGraph", "CallSite", "IndirectCall", "build_direct_callgraph",
     "AtomicCallSite", "BlockStopChecker", "BlockStopResult", "Violation",
     "find_irq_handlers", "run_blockstop",

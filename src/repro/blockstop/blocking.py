@@ -1,16 +1,22 @@
-"""Blocking-function inference.
+"""Blocking-function inference, derived from interprocedural summaries.
 
 Certain primitives may sleep (``schedule``, ``wait_for_completion``,
 ``copy_to_user``/``copy_from_user`` on a fault, allocators called with
 ``GFP_KERNEL``), and any function that can reach one of them on some path may
-itself block.  BlockStop seeds the set from ``blocking`` annotations and
-propagates it backwards through the call graph — "a sound approximation of the
-set of functions that might block".
+itself block.  BlockStop seeds the set from ``blocking`` annotations; the
+closure over the call graph — "a sound approximation of the set of functions
+that might block" — now falls out of the shared bottom-up summary sweep
+(:mod:`repro.dataflow.interproc`): each function's ``may_block`` bit is part
+of its :class:`~repro.dataflow.summaries.FunctionSummary`, computed callees-
+first over the SCC condensation, so the old ad-hoc backwards worklist over
+the whole program is gone.
 
-Allocator-style functions annotated ``blocking_if_wait`` only block when their
-flags argument can include ``GFP_WAIT``; call sites that pass a constant
-``GFP_ATOMIC`` therefore do not make their caller blocking.  This is the
-"special annotation" for ``kmalloc`` the paper describes.
+Allocator-style functions annotated ``blocking_if_wait`` only block when
+their flags argument can include ``GFP_WAIT``; call sites that pass a
+constant ``GFP_ATOMIC`` therefore do not make their caller blocking.  This
+is the "special annotation" for ``kmalloc`` the paper describes.  The GFP
+constant folding itself lives in :mod:`repro.dataflow.summaries` (the
+summary computation needs it too) and is re-exported here.
 """
 
 from __future__ import annotations
@@ -18,36 +24,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..annotations.attrs import AnnotationKind
+from ..dataflow.interproc import solve_summaries
+from ..dataflow.summaries import (   # noqa: F401  (re-exported legacy names)
+    GFP_WAIT_BIT,
+    NONBLOCKING_BUILTINS,
+    FunctionSummary,
+    constant_of as _constant_of,
+    flags_may_wait as _flags_may_wait,
+)
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
-from ..minic.visitor import walk
 from .callgraph import CallGraph
-
-#: Bit the corpus uses for "this allocation may wait" (mirrors __GFP_WAIT).
-GFP_WAIT_BIT = 0x10
-
-#: Builtins that are known to never sleep (the machine executes them inline).
-NONBLOCKING_BUILTINS = frozenset({
-    "memset", "memcpy", "memmove", "memcmp", "strlen", "strcpy", "strncpy",
-    "strcmp", "strncmp", "printk", "panic", "BUG", "WARN",
-    "__raw_alloc", "__raw_free", "__raw_size",
-    "__hw_cli", "__hw_sti", "__hw_save_flags", "__hw_restore_flags",
-    "__hw_irqs_disabled", "__hw_in_interrupt", "__hw_context_switch",
-    "__hw_syscall_overhead", "__hw_cycles", "smp_processor_id",
-    "__copy_block", "__hw_might_sleep",
-    "__ccount_delay_begin", "__ccount_delay_end", "__ccount_rtti",
-    "__ccount_rc_inc", "__ccount_rc_dec", "__ccount_memcpy", "__ccount_memset",
-    "__ccount_ptr_write", "__ccount_refcount",
-    "__deputy_check_ptr", "__deputy_check_nonnull", "__deputy_check_index",
-    "__deputy_check_count", "__deputy_check_nt", "__deputy_check_union",
-    "__deputy_check_cast",
-    "__blockstop_assert_irqs_enabled",
-})
 
 
 @dataclass
 class BlockingInfo:
-    """The result of the blocking propagation."""
+    """The may-block classification of every function."""
 
     seeds: set[str] = field(default_factory=set)
     conditional_seeds: set[str] = field(default_factory=set)   # blocking_if_wait
@@ -99,94 +91,23 @@ def call_site_may_block(program: Program, info: BlockingInfo,
     return False
 
 
-def _flags_may_wait(call: ast.Call) -> bool:
-    """Conservatively decide whether an allocator call may pass GFP_WAIT."""
-    if not call.args:
-        return True
-    flags = call.args[-1]
-    constant = _constant_of(flags)
-    if constant is None:
-        return True
-    return bool(constant & GFP_WAIT_BIT)
+def derive_blocking(program: Program, graph: CallGraph,
+                    summaries: dict[str, FunctionSummary] | None = None,
+                    info: BlockingInfo | None = None) -> BlockingInfo:
+    """Fill ``info.may_block`` from the bottom-up function summaries.
 
-
-def _constant_of(expr: ast.Expr) -> int | None:
-    if isinstance(expr, (ast.IntLit, ast.CharLit)):
-        return expr.value
-    if isinstance(expr, ast.Binary):
-        left = _constant_of(expr.left)
-        right = _constant_of(expr.right)
-        if left is None or right is None:
-            return None
-        if expr.op == "|":
-            return left | right
-        if expr.op == "&":
-            return left & right
-        if expr.op == "+":
-            return left + right
-    if isinstance(expr, ast.Cast):
-        return _constant_of(expr.operand)
-    return None
-
-
-def propagate_blocking(program: Program, graph: CallGraph,
-                       info: BlockingInfo | None = None) -> BlockingInfo:
-    """Propagate the blocking property backwards through the call graph.
-
-    A function may block if it contains a call site that may block.  The
-    conditional (``blocking_if_wait``) seeds are handled per call site, so a
-    caller that only ever allocates with ``GFP_ATOMIC`` stays non-blocking.
+    Every function whose summary says it can reach a blocking primitive
+    (through any direct or points-to-resolved indirect edge, with the
+    GFP_WAIT refinement applied per call site) is marked, plus the seeds
+    themselves.  One SCC-ordered sweep replaces the old program-wide
+    worklist *and* the separate graph-closure pass for indirect edges.
     """
     info = info or collect_seeds(program)
-    # Iterate to a fixed point; the graph is small enough that the simple
-    # worklist formulation is clearer than building a reverse topological order.
-    changed = True
-    while changed:
-        changed = False
-        for name, func in program.functions.items():
-            if name in info.may_block:
-                continue
-            if _function_may_block(program, info, func):
-                info.may_block.add(name)
-                changed = True
-    # Unconditionally blocking seeds are, of course, blocking themselves.
+    if summaries is None:
+        summaries = solve_summaries(program, graph)
+    info.may_block |= {name for name, summary in summaries.items()
+                       if summary.may_block}
     info.may_block |= info.seeds
-    return info
-
-
-def _function_may_block(program: Program, info: BlockingInfo,
-                        func: ast.FuncDef) -> bool:
-    for node in walk(func.body):
-        if not isinstance(node, ast.Call):
-            continue
-        target = node.func
-        if isinstance(target, ast.Ident):
-            name = target.name
-            if name in NONBLOCKING_BUILTINS:
-                continue
-            if name in info.conditional_seeds or name in info.seeds:
-                if call_site_may_block(program, info, node):
-                    return True
-                continue
-            if name in info.may_block:
-                return True
-        else:
-            # Indirect call: resolved edges live in the call graph, so the
-            # per-call-site refinement is unavailable; the graph-level closure
-            # below (via may_block of resolved callees) covers it.
-            continue
-    return False
-
-
-def propagate_over_graph(graph: CallGraph, info: BlockingInfo) -> BlockingInfo:
-    """Graph-level backwards closure, including indirect edges.
-
-    This complements :func:`propagate_blocking`: after indirect edges are
-    added to the call graph, every caller that can reach a blocking function
-    through any edge (direct or resolved-indirect) is marked blocking.
-    """
-    roots = set(info.may_block) | set(info.seeds)
-    info.may_block |= graph.reverse_reachable(roots)
     return info
 
 

@@ -3,12 +3,15 @@
 The analysis proceeds in four steps:
 
 1. build the call graph (direct calls + points-to-resolved indirect calls);
-2. compute the set of functions that may block (backwards propagation of the
-   ``blocking`` annotations, with the GFP_WAIT refinement for allocators);
+2. compute the set of functions that may block — the ``may_block`` bit of the
+   bottom-up function summaries (:mod:`repro.dataflow.interproc`), seeded by
+   the ``blocking`` annotations with the GFP_WAIT refinement for allocators;
 3. find every *atomic region*: code executed with interrupts disabled, either
    because the enclosing function disabled them (``local_irq_save``,
-   ``spin_lock_irqsave``, ``spin_lock_irq``, ``cli``) or because the function
-   is an interrupt handler (registered through ``request_irq``);
+   ``spin_lock_irqsave``, ``spin_lock_irq``, ``cli``), because it called a
+   helper whose summary says it returns with interrupts disabled (the callee
+   IRQ delta), or because the function is an interrupt handler (registered
+   through ``request_irq``);
 4. report every call site inside an atomic region whose callee may block,
    excluding paths that run through functions carrying the manual run-time
    assertion (:mod:`repro.blockstop.runtime_checks`).
@@ -22,6 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataflow import build_cfg, reachable_blocks, solve_forward
+from ..dataflow.interproc import solve_summaries
+from ..dataflow.summaries import (
+    IRQ_DEPTH_CAP,
+    IRQ_DISABLE_CALLS,
+    IRQ_ENABLE_CALLS,
+    FunctionSummary,
+)
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.errors import SourceLocation
@@ -29,30 +39,18 @@ from ..minic.visitor import walk
 from .blocking import (
     BlockingInfo,
     call_site_may_block,
-    collect_seeds,
-    propagate_blocking,
-    propagate_over_graph,
+    derive_blocking,
 )
 from .callgraph import CallGraph, build_direct_callgraph
 from .pointsto import FunctionPointerAnalysis, Precision
 from .runtime_checks import RuntimeCheckSet
-
-#: Functions (in the corpus) that disable interrupts until the matching enable.
-IRQ_DISABLE_CALLS = frozenset({
-    "local_irq_disable", "local_irq_save", "spin_lock_irqsave", "spin_lock_irq",
-    "__hw_cli", "cli",
-})
-IRQ_ENABLE_CALLS = frozenset({
-    "local_irq_enable", "local_irq_restore", "spin_unlock_irqrestore",
-    "spin_unlock_irq", "__hw_sti", "sti",
-})
 #: Registration functions whose function-pointer argument runs in IRQ context.
 IRQ_HANDLER_REGISTRATION = frozenset({"request_irq", "register_irq_handler"})
 
 #: Widening cap on the abstract interrupt-disable nesting depth.  The scan
 #: only distinguishes 0 from >0; the cap keeps the lattice finite so a loop
 #: that disables without a matching enable still reaches a fixpoint.
-_DEPTH_CAP = 64
+_DEPTH_CAP = IRQ_DEPTH_CAP
 
 
 @dataclass
@@ -96,6 +94,7 @@ class BlockStopResult:
     asm_functions: set[str] = field(default_factory=set)
     precision: Precision = Precision.TYPE_BASED
     runtime_checks: RuntimeCheckSet = field(default_factory=RuntimeCheckSet)
+    summaries: dict[str, FunctionSummary] = field(default_factory=dict)
 
     @property
     def reported(self) -> list[Violation]:
@@ -140,33 +139,39 @@ class BlockStopChecker:
                  runtime_checks: RuntimeCheckSet | None = None,
                  graph: CallGraph | None = None,
                  blocking: BlockingInfo | None = None,
-                 irq_handlers: set[str] | None = None) -> None:
+                 irq_handlers: set[str] | None = None,
+                 summaries: dict[str, FunctionSummary] | None = None) -> None:
         self.program = program
         self.precision = precision
         self.runtime_checks = runtime_checks or RuntimeCheckSet()
         self._graph = graph
         self._blocking = blocking
         self._irq_handlers = irq_handlers
+        self._summaries = summaries
+        self.summaries: dict[str, FunctionSummary] = {}
 
     def run(self) -> BlockStopResult:
         graph = self._graph
         blocking = self._blocking
         irq_handlers = self._irq_handlers
+        summaries = self._summaries
         if graph is None:
             graph, indirect_calls = build_direct_callgraph(self.program)
             pointsto = FunctionPointerAnalysis(self.program, self.precision)
             pointsto.collect()
             pointsto.resolve(graph, indirect_calls)
+        if summaries is None:
+            summaries = solve_summaries(self.program, graph)
+        self.summaries = summaries
         if blocking is None:
-            blocking = collect_seeds(self.program)
-            propagate_blocking(self.program, graph, blocking)
-            propagate_over_graph(graph, blocking)
+            blocking = derive_blocking(self.program, graph, summaries)
         if irq_handlers is None:
             irq_handlers = find_irq_handlers(self.program)
 
         result = BlockStopResult(graph=graph, blocking=blocking,
                                  precision=self.precision,
-                                 runtime_checks=self.runtime_checks)
+                                 runtime_checks=self.runtime_checks,
+                                 summaries=summaries)
         result.irq_handlers = set(irq_handlers)
         self._scan_atomic_regions(result, blocking)
         # (function, location) ordering: the rendered report must not depend
@@ -205,11 +210,14 @@ class BlockStopChecker:
         unmatched disable inside a loop body still converges.  These
         per-function atomic regions feed the interprocedural step (callees
         of an atomic call site inherit atomic context through the graph).
+
+        Callee IRQ deltas from the function summaries are threaded through
+        the same counter: a call to a helper whose summary says it returns
+        with interrupts disabled raises the depth exactly as a direct
+        ``local_irq_disable`` would, so a blocking call that is atomic only
+        *because of* the callee's delta is found in the caller.
         """
-        if not starts_atomic and not any(
-                isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
-                and node.func.name in IRQ_DISABLE_CALLS
-                for node in walk(func.body)):
+        if not starts_atomic and not self._can_raise_depth(func):
             return      # depth can never leave 0: skip the CFG + solve cost
         cfg = build_cfg(func)
         entry_depth = 1 if starts_atomic else 0
@@ -226,6 +234,20 @@ class BlockStopChecker:
                                             result=result, caller=name,
                                             blocking=blocking)
 
+    def _can_raise_depth(self, func: ast.FuncDef) -> bool:
+        """Whether any call in ``func`` can push the disable depth above 0."""
+        for node in walk(func.body):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Ident):
+                continue
+            name = node.func.name
+            if name in IRQ_DISABLE_CALLS:
+                return True
+            if name not in IRQ_ENABLE_CALLS:
+                summary = self.summaries.get(name)
+                if summary is not None and summary.irq_delta > 0:
+                    return True
+        return False
+
     def _apply_element(self, expr: ast.Expr | None, depth: int,
                        result: BlockStopResult | None = None,
                        caller: str | None = None,
@@ -233,7 +255,11 @@ class BlockStopChecker:
         """Step the disable depth over every call inside ``expr``.
 
         With ``result`` supplied this is the recording pass: calls made at
-        depth > 0 are appended as atomic call sites.
+        depth > 0 are appended as atomic call sites.  A named callee that is
+        neither a disable nor an enable primitive contributes its summary's
+        IRQ delta *after* the call site itself is recorded (the call starts
+        in the caller's current context; what the callee does internally is
+        the callee's own scan's business).
         """
         if expr is None:
             return depth
@@ -256,6 +282,9 @@ class BlockStopChecker:
                         caller=caller, callee=callee,
                         location=node.location, indirect=False,
                         conditional_blocks=conditional))
+                summary = self.summaries.get(callee)
+                if summary is not None and summary.irq_delta:
+                    depth = max(0, min(depth + summary.irq_delta, _DEPTH_CAP))
             else:
                 if depth > 0 and result is not None:
                     # Indirect call in atomic context: all resolved callees
@@ -324,8 +353,10 @@ def run_blockstop(program: Program,
                   runtime_checks: RuntimeCheckSet | None = None,
                   graph: CallGraph | None = None,
                   blocking: BlockingInfo | None = None,
-                  irq_handlers: set[str] | None = None) -> BlockStopResult:
+                  irq_handlers: set[str] | None = None,
+                  summaries: dict[str, FunctionSummary] | None = None,
+                  ) -> BlockStopResult:
     """Convenience entry point: run the full BlockStop analysis."""
     return BlockStopChecker(program, precision, runtime_checks,
                             graph=graph, blocking=blocking,
-                            irq_handlers=irq_handlers).run()
+                            irq_handlers=irq_handlers, summaries=summaries).run()

@@ -1,37 +1,65 @@
-"""Flow-sensitive dataflow core shared by every checker.
+"""Flow-sensitive and interprocedural dataflow core shared by every checker.
 
-The package has two halves:
+The package has two layers:
 
-* :mod:`repro.dataflow.cfg` — a control-flow-graph builder over MiniC
-  function bodies: basic blocks for ``if``/``else``, loops, ``switch``,
-  early ``return``, ``break``/``continue`` and ``goto``/labels, with edges
-  carrying branch information.
-* :mod:`repro.dataflow.solver` — a small forward-dataflow fixpoint solver:
-  lattice join at merge points, loop iteration to a fixpoint, plus the
-  replay helper the analyses use to record facts against the solved
-  per-block input states.
+* the *intraprocedural* half — :mod:`repro.dataflow.cfg` builds
+  control-flow graphs over MiniC function bodies (basic blocks for
+  ``if``/``else``, loops, ``switch``, early ``return``,
+  ``break``/``continue`` and ``goto``/labels, with edges carrying branch
+  information), and :mod:`repro.dataflow.solver` is a small forward-dataflow
+  fixpoint solver: lattice join at merge points, loop iteration to a
+  fixpoint, plus the replay helper the analyses use to record facts against
+  the solved per-block input states.
+* the *interprocedural* half — :mod:`repro.dataflow.summaries` defines the
+  per-function :class:`FunctionSummary` lattice element (lock delta,
+  may-return-held, IRQ delta, may-block, error-return set, frame size and
+  stack depth) and its transfer/join functions;
+  :mod:`repro.dataflow.interproc` condenses the call graph into SCCs
+  (Tarjan, bottom-up order, parallel-scheduling waves) and solves every
+  function's summary callees-first, iterating recursive components to a
+  fixpoint.
 
 The flat ``walk()`` scans the checkers used before this package existed let
 analysis state leak across exclusive branches (a lock taken in a then-branch
 was "held" in the else-branch).  Running on the CFG, each branch is analysed
 with exactly the state that reaches it, and merge points combine the branch
-states through an analysis-chosen join.
+states through an analysis-chosen join.  The summary layer extends the same
+discipline across function boundaries: what a flat scan would re-discover in
+every caller is computed once per callee and applied at each call site.
 """
 
 from .cfg import COND, DECL, EXPR, RETURN, CFG, BasicBlock, Edge, Element, build_cfg
+from .interproc import (
+    Condensation,
+    SummaryDivergence,
+    callgraph_fingerprint,
+    condense_callgraph,
+    solve_scc,
+    solve_summaries,
+)
 from .solver import FixpointDivergence, reachable_blocks, solve_forward
+from .summaries import FunctionSummary, SummaryContext, build_context
 
 __all__ = [
     "CFG",
     "BasicBlock",
     "COND",
+    "Condensation",
     "DECL",
     "EXPR",
+    "FunctionSummary",
     "RETURN",
     "Edge",
     "Element",
+    "SummaryContext",
+    "SummaryDivergence",
     "build_cfg",
+    "build_context",
+    "callgraph_fingerprint",
+    "condense_callgraph",
     "FixpointDivergence",
     "reachable_blocks",
     "solve_forward",
+    "solve_scc",
+    "solve_summaries",
 ]

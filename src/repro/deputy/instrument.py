@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.ctypes import CPointer
+from ..minic.visitor import walk
 from .checker import (
     Decision,
     DeputyOptions,
@@ -122,8 +123,9 @@ class DeputyInstrumenter:
             result.trusted = True
             return
         env = self._env_for(func)
-        worker = _FunctionInstrumenter(env, self.options, result, rewrite)
-        new_body = worker.stmt(func.body, CheckCache(enabled=self.options.optimize))
+        worker = _FunctionInstrumenter(env, self.options, result, rewrite,
+                                       safe_names=_callee_immune_names(func))
+        new_body = worker.stmt(func.body, worker.fresh_cache())
         if rewrite and isinstance(new_body, ast.Block):
             func.body = new_body
 
@@ -131,6 +133,41 @@ class DeputyInstrumenter:
 def _function_is_trusted(func: ast.FuncDef) -> bool:
     from ..annotations.attrs import AnnotationKind
     return func.annotations.has(AnnotationKind.TRUSTED)
+
+
+def _callee_immune_names(func: ast.FuncDef) -> frozenset[str]:
+    """Variables of ``func`` that no function call can write.
+
+    Parameters and scalar locals qualify unless their address is taken
+    (``&x``) somewhere in the body; array locals decay to pointers at any
+    use, so they never qualify.  Everything else — globals above all — can
+    be stored to by a callee, which is what makes an index check over such
+    a name unsound to keep across a call.
+    """
+    from ..minic.ctypes import CArray
+
+    def base_ident(expr: ast.Expr) -> str | None:
+        # &s.field / &arr[0] escape the base variable just as &x does.
+        while isinstance(expr, (ast.Member, ast.Index)):
+            expr = expr.base
+        if isinstance(expr, ast.Cast):
+            return base_ident(expr.operand)
+        return expr.name if isinstance(expr, ast.Ident) else None
+
+    names = {param.name for param in getattr(func.type.strip(), "params", [])
+             if getattr(param, "name", None)}
+    escaped: set[str] = set()
+    for node in walk(func.body):
+        if isinstance(node, ast.Declaration) and node.name and not node.is_typedef:
+            if isinstance(node.type.strip(), CArray):
+                escaped.add(node.name)
+            else:
+                names.add(node.name)
+        elif isinstance(node, ast.Unary) and node.op == "&":
+            name = base_ident(node.operand)
+            if name is not None:
+                escaped.add(name)
+    return frozenset(names - escaped)
 
 
 def _has_side_effects(check: ast.Expr) -> bool:
@@ -159,12 +196,20 @@ class _FunctionInstrumenter:
     """Walks one function body, deciding and splicing checks."""
 
     def __init__(self, env: TypeEnv, options: DeputyOptions,
-                 result: FunctionCheckResult, rewrite: bool) -> None:
+                 result: FunctionCheckResult, rewrite: bool,
+                 safe_names: frozenset[str] = frozenset()) -> None:
         self.env = env
         self.options = options
         self.result = result
         self.rewrite = rewrite
         self.in_trusted_block = 0
+        self.safe_names = safe_names
+
+    def fresh_cache(self, enabled: bool | None = None) -> CheckCache:
+        """A new region cache carrying this function's callee-immune names."""
+        if enabled is None:
+            enabled = self.options.optimize
+        return CheckCache(enabled=enabled, safe_names=self.safe_names)
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -217,7 +262,7 @@ class _FunctionInstrumenter:
                 self.in_trusted_block += 1
                 # Still walk it so obligations are counted as trusted.
                 for index, inner in enumerate(stmt.stmts):
-                    stmt.stmts[index] = self.stmt(inner, CheckCache(enabled=False))
+                    stmt.stmts[index] = self.stmt(inner, self.fresh_cache(enabled=False))
                 self.in_trusted_block -= 1
                 return stmt
             for index, inner in enumerate(stmt.stmts):
@@ -245,13 +290,13 @@ class _FunctionInstrumenter:
             return stmt
         if isinstance(stmt, ast.While):
             cache.invalidate_all()
-            body_cache = CheckCache(enabled=self.options.optimize)
+            body_cache = self.fresh_cache()
             stmt.cond = self.expr(stmt.cond, body_cache)
             stmt.body = self.stmt(stmt.body, body_cache)
             return stmt
         if isinstance(stmt, ast.DoWhile):
             cache.invalidate_all()
-            body_cache = CheckCache(enabled=self.options.optimize)
+            body_cache = self.fresh_cache()
             stmt.body = self.stmt(stmt.body, body_cache)
             stmt.cond = self.expr(stmt.cond, body_cache)
             return stmt
@@ -261,7 +306,7 @@ class _FunctionInstrumenter:
             elif isinstance(stmt.init, ast.Declaration) and stmt.init.init is not None:
                 self._instrument_initializer(stmt.init.init, cache)
             cache.invalidate_all()
-            body_cache = CheckCache(enabled=self.options.optimize)
+            body_cache = self.fresh_cache()
             if stmt.cond is not None:
                 stmt.cond = self.expr(stmt.cond, body_cache)
             stmt.body = self.stmt(stmt.body, body_cache)

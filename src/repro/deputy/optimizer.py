@@ -23,10 +23,21 @@ from ..minic.visitor import walk
 
 @dataclass
 class CheckCache:
-    """Tracks run-time checks already emitted in the current region."""
+    """Tracks run-time checks already emitted in the current region.
+
+    ``safe_names`` is the set of variables a function call provably cannot
+    write: the enclosing function's non-address-taken scalar locals and
+    parameters.  Globals and address-taken locals are *not* in the set — a
+    callee can store to them — so a cached check mentioning one of them
+    must not survive :meth:`invalidate_memory`.
+    """
 
     enabled: bool = True
+    safe_names: frozenset[str] | None = None
     _seen: dict[str, set[str]] = field(default_factory=dict)
+    #: Keys whose check expression reads memory (a deref, subscript, or
+    #: ``->``): their validity depends on the heap, never on names alone.
+    _heap_reads: set[str] = field(default_factory=set)
 
     def key_of(self, check: ast.Expr) -> str:
         return render_expression(check)
@@ -41,7 +52,10 @@ class CheckCache:
         if not self.enabled:
             return
         names = {node.name for node in walk(check) if isinstance(node, ast.Ident)}
-        self._seen[self.key_of(check)] = names
+        key = self.key_of(check)
+        self._seen[key] = names
+        if _reads_heap(check):
+            self._heap_reads.add(key)
 
     def invalidate_name(self, name: str) -> None:
         """A variable was written: drop every cached check that mentions it."""
@@ -50,30 +64,61 @@ class CheckCache:
         stale = [key for key, names in self._seen.items() if name in names]
         for key in stale:
             del self._seen[key]
+            self._heap_reads.discard(key)
 
     def invalidate_memory(self) -> None:
         """A store through a pointer or an unknown call happened.
 
         Any check whose validity depends on the heap (pointer validity,
         nullterm scans) could be invalidated; we conservatively drop all
-        cached checks that mention memory at all, which for our check
-        vocabulary means dropping everything except pure index comparisons.
+        cached checks that mention memory at all.  An index comparison
+        survives only when it is heap-free (no deref, subscript, or ``->``
+        inside the check expression) *and* every variable it mentions is
+        provably immune to the store (``safe_names``): an index check over a
+        global or an address-taken local can be invalidated by a callee
+        write, so it is dropped like everything else.
         """
         if not self.enabled or not self._seen:
             return
-        stale = [key for key in self._seen
-                 if not key.startswith("__deputy_check_index")]
+        safe = self.safe_names or frozenset()
+        stale = [key for key, names in self._seen.items()
+                 if not (key.startswith("__deputy_check_index")
+                         and key not in self._heap_reads
+                         and {name for name in names
+                              if not name.startswith("__deputy_check")} <= safe)]
         for key in stale:
             del self._seen[key]
+            self._heap_reads.discard(key)
 
     def invalidate_all(self) -> None:
         self._seen.clear()
+        self._heap_reads.clear()
 
     def fork(self) -> "CheckCache":
         """A copy for a branch arm (checks proven before the branch survive)."""
-        clone = CheckCache(enabled=self.enabled)
+        clone = CheckCache(enabled=self.enabled, safe_names=self.safe_names)
         clone._seen = {k: set(v) for k, v in self._seen.items()}
+        clone._heap_reads = set(self._heap_reads)
         return clone
+
+
+def _reads_heap(check: ast.Expr) -> bool:
+    """Whether the check expression reads through memory.
+
+    A deref (``*p``), a subscript (``a[i]``), or an arrow member access
+    (``p->n``) makes the check's *value* depend on the heap, so no amount of
+    name-immunity can keep it valid across a store.  A dot access on a local
+    struct stays name-governed (the base identifier is in the name set and
+    escapes via ``&s...``), so it does not count.
+    """
+    for node in walk(check):
+        if isinstance(node, ast.Index):
+            return True
+        if isinstance(node, ast.Member) and node.arrow:
+            return True
+        if isinstance(node, ast.Unary) and node.op == "*":
+            return True
+    return False
 
 
 def written_names(expr: ast.Expr) -> list[str]:

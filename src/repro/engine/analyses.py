@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..analyses.errcheck import analyse_error_checks
-from ..analyses.lockcheck import LockAcquisition, collect_acquisitions, derive_report
+from ..analyses.lockcheck import (
+    LockAcquisition,
+    LockLeak,
+    collect_lock_facts,
+    derive_report,
+)
 from ..analyses.stackcheck import analyse_stack
 from ..blockstop.checker import run_blockstop
 from ..blockstop.runtime_checks import RuntimeCheckSet
@@ -149,7 +154,8 @@ class BlockStopAnalysis(EngineAnalysis):
                                runtime_checks=self.runtime_checks,
                                graph=artifacts.graph,
                                blocking=artifacts.blocking,
-                               irq_handlers=artifacts.irq_handlers)
+                               irq_handlers=artifacts.irq_handlers,
+                               summaries=artifacts.summaries)
         findings = [make_finding(self.name, "blocking-in-atomic-context",
                                  violation.caller, violation.location,
                                  violation.describe())
@@ -215,29 +221,57 @@ class LockcheckAnalysis(EngineAnalysis):
     name = "lockcheck"
     per_unit = True
 
+    @staticmethod
+    def _acq_payload(acq: LockAcquisition) -> dict:
+        return {"function": acq.function, "lock": acq.lock,
+                "irqsave": acq.irqsave, "held_before": list(acq.held_before),
+                "file": acq.location.filename, "line": acq.location.line,
+                "column": acq.location.column, "reacquired": acq.reacquired,
+                "via_callee": acq.via_callee}
+
+    @staticmethod
+    def _acq_restore(raw: dict) -> LockAcquisition:
+        return LockAcquisition(
+            function=raw["function"], lock=raw["lock"],
+            irqsave=raw["irqsave"], held_before=tuple(raw["held_before"]),
+            location=SourceLocation(raw.get("file", "<unknown>"),
+                                    raw.get("line", 0), raw.get("column", 0)),
+            reacquired=raw.get("reacquired", False),
+            via_callee=raw.get("via_callee", ""))
+
     def run_shard(self, artifacts, functions):
-        acquisitions = collect_acquisitions(artifacts.program, functions=functions)
-        return {"acquisitions": [
-            {"function": acq.function, "lock": acq.lock, "irqsave": acq.irqsave,
-             "held_before": list(acq.held_before),
-             "file": acq.location.filename, "line": acq.location.line,
-             "column": acq.location.column, "reacquired": acq.reacquired}
-            for acq in acquisitions
-        ]}
+        facts = collect_lock_facts(artifacts.program, functions=functions,
+                                   summaries=artifacts.summaries)
+        return {
+            "acquisitions": [self._acq_payload(acq)
+                             for acq in facts.acquisitions],
+            "interproc_acquires": [self._acq_payload(acq)
+                                   for acq in facts.interproc_acquires],
+            "leaks": [{"function": leak.function, "lock": leak.lock,
+                       "file": leak.location.filename,
+                       "line": leak.location.line,
+                       "column": leak.location.column,
+                       "via_callee": leak.via_callee}
+                      for leak in facts.leaks],
+        }
 
     def merge(self, artifacts, payloads):
-        acquisitions = [
-            LockAcquisition(function=raw["function"], lock=raw["lock"],
-                            irqsave=raw["irqsave"],
-                            held_before=tuple(raw["held_before"]),
-                            location=SourceLocation(raw.get("file", "<unknown>"),
-                                                    raw.get("line", 0),
-                                                    raw.get("column", 0)),
-                            reacquired=raw.get("reacquired", False))
-            for payload in payloads for raw in payload["acquisitions"]
+        acquisitions = [self._acq_restore(raw) for payload in payloads
+                        for raw in payload["acquisitions"]]
+        interproc = [self._acq_restore(raw) for payload in payloads
+                     for raw in payload.get("interproc_acquires", [])]
+        leaks = [
+            LockLeak(function=raw["function"], lock=raw["lock"],
+                     location=SourceLocation(raw.get("file", "<unknown>"),
+                                             raw.get("line", 0),
+                                             raw.get("column", 0)),
+                     via_callee=raw.get("via_callee", ""))
+            for payload in payloads for raw in payload.get("leaks", [])
         ]
         lock_report = derive_report(acquisitions,
-                                    irq_functions=artifacts.irq_handlers)
+                                    irq_functions=artifacts.irq_handlers,
+                                    interproc_acquires=interproc,
+                                    leaks=leaks)
         report = AnalysisReport(name=self.name)
         for first, second in lock_report.order_violations:
             report.findings.append(make_finding(
@@ -250,10 +284,25 @@ class LockcheckAnalysis(EngineAnalysis):
                 f"{acq.lock} is taken in interrupt context but acquired with "
                 f"plain spin_lock in {acq.function}"))
         for acq in lock_report.double_acquires:
+            if acq.via_callee:
+                report.findings.append(make_finding(
+                    self.name, "double-acquire", acq.function, acq.location,
+                    f"{acq.lock} is held in {acq.function} when calling "
+                    f"{acq.via_callee}, which may acquire it again "
+                    f"(interprocedural self-deadlock)"))
+            else:
+                report.findings.append(make_finding(
+                    self.name, "double-acquire", acq.function, acq.location,
+                    f"{acq.lock} is acquired while already held in "
+                    f"{acq.function} (self-deadlock on a non-recursive lock)"))
+        for leak in lock_report.leaked_returns:
+            origin = (f" (leaked through {leak.via_callee})"
+                      if leak.via_callee else "")
             report.findings.append(make_finding(
-                self.name, "double-acquire", acq.function, acq.location,
-                f"{acq.lock} is acquired while already held in "
-                f"{acq.function} (self-deadlock on a non-recursive lock)"))
+                self.name, "returns-with-lock-held", leak.function,
+                leak.location,
+                f"{leak.function} may return with {leak.lock} still held on "
+                f"some path{origin}"))
         report.findings.sort(key=finding_sort_key)
         report.metrics = {
             "acquisitions": len(lock_report.acquisitions),
@@ -261,6 +310,7 @@ class LockcheckAnalysis(EngineAnalysis):
             "order_violations": len(lock_report.order_violations),
             "irq_violations": len(lock_report.irq_violations),
             "double_acquires": len(lock_report.double_acquires),
+            "leaked_returns": len(lock_report.leaked_returns),
             "irq_context_locks": len(lock_report.irq_context_locks),
         }
         return report
@@ -279,7 +329,9 @@ class StackcheckAnalysis(EngineAnalysis):
     per_unit = False
 
     def run_shard(self, artifacts, functions):
-        stack_report = analyse_stack(artifacts.program, artifacts.graph)
+        stack_report = analyse_stack(artifacts.program, artifacts.graph,
+                                     summaries=artifacts.summaries,
+                                     condensation=artifacts.condensation)
         findings = [make_finding(self.name, "recursion-needs-runtime-check",
                                  name, None,
                                  f"{name} is (mutually) recursive; stack depth "

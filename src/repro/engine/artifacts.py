@@ -22,15 +22,12 @@ from typing import Any, Callable
 
 from ..analyses.errcheck import find_error_returning_functions
 from ..annotations.attrs import AnnotationSet
-from ..blockstop.blocking import (
-    BlockingInfo,
-    collect_seeds,
-    propagate_blocking,
-    propagate_over_graph,
-)
+from ..blockstop.blocking import BlockingInfo, derive_blocking
 from ..blockstop.callgraph import CallGraph, build_direct_callgraph
 from ..blockstop.checker import find_irq_handlers
 from ..blockstop.pointsto import FunctionPointerAnalysis, PointsToResult, Precision
+from ..dataflow.interproc import Condensation, condense_callgraph, solve_summaries
+from ..dataflow.summaries import FunctionSummary
 from ..deputy.typesystem import TypeEnv
 from ..kernel.corpus import CorpusFile
 from ..machine.program import Program
@@ -167,9 +164,15 @@ class SharedArtifacts:
     * ``annotations`` — merged definition+prototype annotations per function;
     * ``graph``/``pointsto`` — the direct call graph with points-to-resolved
       indirect edges for the chosen precision;
-    * ``blocking`` — the propagated may-block summary;
+    * ``condensation`` — the SCC condensation of that graph, in bottom-up
+      (reverse-topological) order, with its parallel-scheduling waves;
+    * ``summaries`` — one interprocedural :class:`FunctionSummary` per
+      function, solved callees-first over the condensation; every checker's
+      cross-function knowledge comes from here;
+    * ``blocking`` — the may-block classification (derived from summaries);
     * ``irq_handlers`` — functions registered as interrupt handlers;
-    * ``error_returning`` — functions whose negative returns are error codes;
+    * ``error_returning`` — functions whose negative returns are error codes
+      (annotation seeds plus the summaries' error-return sets);
     * ``unit_functions`` — translation-unit filename to the functions it
       defines, in corpus order (the parallel mode's sharding map).
     """
@@ -178,6 +181,8 @@ class SharedArtifacts:
     precision: Precision
     graph: CallGraph
     pointsto: PointsToResult
+    condensation: Condensation
+    summaries: dict[str, FunctionSummary]
     blocking: BlockingInfo
     irq_handlers: set[str]
     error_returning: set[str]
@@ -208,17 +213,27 @@ def unit_function_map(program: Program) -> dict[str, list[str]]:
 
 def build_shared_artifacts(program: Program,
                            precision: Precision = Precision.TYPE_BASED,
-                           ) -> SharedArtifacts:
-    """Derive every shared artifact from an already parsed corpus."""
+                           summary_solver=None) -> SharedArtifacts:
+    """Derive every shared artifact from an already parsed corpus.
+
+    ``summary_solver(program, graph, condensation)`` may be supplied to
+    compute the function summaries elsewhere — the engine passes a
+    cache-aware, optionally pool-backed solver; the default solves them
+    inline, bottom-up over the SCC condensation.
+    """
     graph, indirect_calls = build_direct_callgraph(program)
     type_envs: dict[str, TypeEnv] = {}
     pointsto_pass = FunctionPointerAnalysis(program, precision)
     pointsto_pass.collect()
     pointsto = pointsto_pass.resolve(graph, indirect_calls, envs=type_envs)
 
-    blocking = collect_seeds(program)
-    propagate_blocking(program, graph, blocking)
-    propagate_over_graph(graph, blocking)
+    condensation = condense_callgraph(graph)
+    if summary_solver is not None:
+        summaries = summary_solver(program, graph, condensation)
+    else:
+        summaries = solve_summaries(program, graph, condensation)
+
+    blocking = derive_blocking(program, graph, summaries)
 
     annotations = {name: program.function_annotations(name)
                    for name in program.all_function_names()}
@@ -228,9 +243,11 @@ def build_shared_artifacts(program: Program,
         precision=precision,
         graph=graph,
         pointsto=pointsto,
+        condensation=condensation,
+        summaries=summaries,
         blocking=blocking,
         irq_handlers=find_irq_handlers(program),
-        error_returning=find_error_returning_functions(program),
+        error_returning=find_error_returning_functions(program, summaries),
         annotations=annotations,
         type_envs=type_envs,
         unit_functions=unit_function_map(program),

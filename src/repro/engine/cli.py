@@ -6,6 +6,7 @@ Usage (also installed as the ``repro-engine`` console script)::
     python -m repro.engine run --analyses all --cache-dir .engine-cache \
         --format json --output report.json
     python -m repro.engine report report.json --format text
+    python -m repro.engine callgraph --witnesses
     python -m repro.engine list
 """
 
@@ -18,6 +19,7 @@ import sys
 from ..blockstop.pointsto import Precision
 from ..kernel.corpus import ALL_FILES, KERNEL_FILES
 from .analyses import ANALYSIS_ORDER
+from .artifacts import SharedArtifacts
 from .core import AnalysisEngine, EngineReport
 
 
@@ -48,10 +50,30 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fail-on-findings", action="store_true",
                      help="exit non-zero if any analysis reports findings "
                           "(for gating CI jobs; the smoke job omits it)")
+    run.add_argument("--bench-json", default=None,
+                     help="append {wall time, cache stats, summary stats} to "
+                          "this JSON file (one entry per run; the CI smoke "
+                          "step tracks the perf trajectory with it)")
 
     report = sub.add_parser("report", help="re-render a saved JSON report")
     report.add_argument("input", help="path to a report written by 'run --output'")
     report.add_argument("--format", default="text", choices=("text", "json"))
+
+    callgraph = sub.add_parser(
+        "callgraph",
+        help="print the SCC condensation, per-function summaries, and a "
+             "witness call chain for every may-block function")
+    callgraph.add_argument("--precision", default="type_based",
+                           choices=[p.name.lower() for p in Precision],
+                           help="function-pointer points-to precision")
+    callgraph.add_argument("--include-user", action="store_true",
+                           help="include user-level corpus files")
+    callgraph.add_argument("--cache-dir", default=None,
+                           help="directory for the on-disk artifact cache")
+    callgraph.add_argument("--format", default="text", choices=("text", "json"))
+    callgraph.add_argument("--function", default=None,
+                           help="restrict the summary/witness listing to one "
+                                "function")
 
     sub.add_parser("list", help="list the registered analyses")
     return parser
@@ -72,10 +94,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
             handle.write("\n")
+    if args.bench_json:
+        _append_bench_entry(args.bench_json, report)
     print(report.to_json() if args.format == "json" else report.render_text())
     if args.fail_on_findings and report.finding_count:
         return 1
     return 0
+
+
+def _append_bench_entry(path: str, report: EngineReport) -> None:
+    """Append one run's perf entry to the benchmark-trajectory JSON file."""
+    entries: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries = list(payload.get("runs", []))
+    except (OSError, json.JSONDecodeError):
+        pass
+    entries.append({
+        "elapsed_seconds": round(report.elapsed_seconds, 4),
+        "jobs": report.jobs,
+        "parallel": report.parallel,
+        "corpus_files": len(report.corpus_files),
+        "finding_count": report.finding_count,
+        "cache_stats": report.cache_stats,
+        "summary_stats": report.summary_stats,
+    })
+    hits = sum(1 for entry in entries
+               if entry.get("summary_stats", {}).get("cache_hit"))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({
+            "schema": "repro-engine-bench/1",
+            "runs": entries,
+            "summary_cache_hit_rate": round(hits / len(entries), 4),
+        }, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -87,6 +140,97 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
     report = EngineReport.from_dict(payload)
     print(report.to_json() if args.format == "json" else report.render_text())
+    return 0
+
+
+def _blocking_witness(artifacts: SharedArtifacts, name: str) -> list[str]:
+    """A shortest call chain from ``name`` to a blocking primitive.
+
+    This is the paper's "why might this block" explanation: the path ends
+    at an annotated ``blocking`` seed, or at a ``blocking_if_wait``
+    allocator when the function only blocks through a GFP_WAIT allocation.
+    """
+    blocking = artifacts.blocking
+    path = artifacts.graph.shortest_path(name, set(blocking.seeds))
+    if not path:
+        path = artifacts.graph.shortest_path(name, set(blocking.conditional_seeds))
+    return path or [name]
+
+
+def _summary_payload(artifacts: SharedArtifacts, name: str) -> dict:
+    summary = artifacts.summaries.get(name)
+    if summary is None:
+        return {}
+    payload = {
+        "defined": summary.defined,
+        "may_block": summary.may_block,
+        "irq_delta": summary.irq_delta,
+        "locks_held": [list(pair) for pair in summary.locks_held],
+        "locks_released": [list(pair) for pair in summary.locks_released],
+        "may_return_held": list(summary.may_return_held),
+        "acquires": list(summary.acquires),
+        "error_returns": list(summary.error_returns),
+        "frame_size": summary.frame_size,
+        "stack_depth": summary.stack_depth,
+    }
+    if summary.may_block:
+        payload["witness"] = _blocking_witness(artifacts, name)
+    return payload
+
+
+def _cmd_callgraph(args: argparse.Namespace) -> int:
+    engine = AnalysisEngine(
+        files=ALL_FILES if args.include_user else KERNEL_FILES,
+        precision=Precision[args.precision.upper()],
+        cache_dir=args.cache_dir)
+    artifacts = engine.artifacts()
+    condensation = artifacts.condensation
+    names = sorted(artifacts.summaries)
+    if args.function is not None:
+        if args.function not in artifacts.summaries:
+            print(f"error: unknown function {args.function!r}", file=sys.stderr)
+            return 2
+        names = [args.function]
+
+    if args.format == "json":
+        payload = {
+            "schema": "repro-engine-callgraph/1",
+            "functions": len(artifacts.summaries),
+            "sccs": [list(scc) for scc in condensation.sccs],
+            "waves": [[list(condensation.sccs[i]) for i in wave]
+                      for wave in condensation.waves],
+            "recursive": sorted(condensation.recursive_functions()),
+            "summaries": {name: _summary_payload(artifacts, name)
+                          for name in names},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    lines = ["== call-graph condensation =="]
+    lines.append(f"{len(artifacts.summaries)} functions in "
+                 f"{len(condensation.sccs)} SCCs over "
+                 f"{len(condensation.waves)} bottom-up waves")
+    recursive = sorted(condensation.recursive_functions())
+    if recursive:
+        lines.append(f"recursive: {', '.join(recursive)}")
+        for scc in condensation.sccs:
+            if len(scc) > 1:
+                lines.append(f"  cycle: {' <-> '.join(scc)}")
+    lines.append("")
+    lines.append("-- function summaries --")
+    for name in names:
+        summary = artifacts.summaries[name]
+        if not summary.defined:
+            continue
+        lines.append(f"  {name}: {summary.describe()}")
+    lines.append("")
+    lines.append("-- may-block witnesses --")
+    for name in names:
+        summary = artifacts.summaries[name]
+        if not (summary.defined and summary.may_block):
+            continue
+        lines.append(f"  {name}: {' -> '.join(_blocking_witness(artifacts, name))}")
+    print("\n".join(lines))
     return 0
 
 
@@ -102,6 +246,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "callgraph":
+        return _cmd_callgraph(args)
     return _cmd_list()
 
 

@@ -20,6 +20,12 @@ from typing import Iterable
 
 from ..blockstop.pointsto import Precision
 from ..blockstop.runtime_checks import RuntimeCheckSet
+from ..dataflow.interproc import (
+    build_context,
+    callgraph_fingerprint,
+    solve_scc,
+    solve_summaries,
+)
 from ..deputy.checker import DeputyOptions
 from ..kernel.build import parse_corpus
 from ..kernel.corpus import KERNEL_FILES, CorpusFile
@@ -39,6 +45,9 @@ _Task = tuple[str, int, "list[str] | None"]
 #: Worker state inherited through fork(); set only around a parallel run.
 _WORKER_CONTEXT: "tuple[SharedArtifacts, dict[str, EngineAnalysis]] | None" = None
 
+#: (context, graph) for summary-wave workers, inherited through fork().
+_SUMMARY_CONTEXT = None
+
 
 def _run_shard_task(task: _Task) -> tuple[str, int, dict]:
     """Execute one shard in a worker (or inline, for the serial path)."""
@@ -46,6 +55,15 @@ def _run_shard_task(task: _Task) -> tuple[str, int, dict]:
     artifacts, registry = _WORKER_CONTEXT
     name, index, functions = task
     return name, index, registry[name].run_shard(artifacts, functions)
+
+
+def _solve_scc_task(task: "tuple[tuple[str, ...], dict]") -> dict:
+    """Solve one SCC in a worker; program/graph arrive via fork inheritance,
+    the (small) dependency summaries travel with the task."""
+    assert _SUMMARY_CONTEXT is not None, "summary context not initialised"
+    ctx, graph = _SUMMARY_CONTEXT
+    scc, solved = task
+    return solve_scc(scc, ctx, graph, solved)
 
 
 @dataclass
@@ -59,6 +77,7 @@ class EngineReport:
     parallel: bool = False
     elapsed_seconds: float = 0.0
     cache_stats: dict[str, int] = field(default_factory=dict)
+    summary_stats: dict = field(default_factory=dict)
 
     # -- queries ------------------------------------------------------------
 
@@ -83,6 +102,7 @@ class EngineReport:
             "parallel": self.parallel,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "cache_stats": self.cache_stats,
+            "summary_stats": self.summary_stats,
             "analyses": {name: report.to_dict()
                          for name, report in self.analyses.items()},
         }
@@ -99,6 +119,7 @@ class EngineReport:
             parallel=bool(payload.get("parallel", False)),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             cache_stats=dict(payload.get("cache_stats", {})),
+            summary_stats=dict(payload.get("summary_stats", {})),
         )
         for name, raw in payload.get("analyses", {}).items():
             report.analyses[name] = AnalysisReport.from_dict(raw)
@@ -114,6 +135,17 @@ class EngineReport:
         if self.cache_stats:
             lines.append("cache: {hits} hits, {misses} misses, "
                          "{disk_hits} from disk".format(**self.cache_stats))
+        if self.summary_stats:
+            lines.append(
+                "summaries: {functions} functions in {sccs} SCCs "
+                "({recursive} recursive) over {waves} waves; "
+                "cache {cache}".format(
+                    functions=self.summary_stats.get("functions", 0),
+                    sccs=self.summary_stats.get("sccs", 0),
+                    recursive=self.summary_stats.get("recursive_functions", 0),
+                    waves=self.summary_stats.get("waves", 0),
+                    cache="hit" if self.summary_stats.get("cache_hit")
+                    else "miss"))
         for name in sorted(self.analyses):
             report = self.analyses[name]
             lines.append("")
@@ -147,6 +179,9 @@ class AnalysisEngine:
         self.precision = precision
         self.cache = cache if cache is not None else ArtifactCache(cache_dir)
         self.registry = make_registry(deputy_options, runtime_checks)
+        #: Whether the last summary solve was served from the cache; None
+        #: until a solve is attempted (e.g. artifacts were memory-cached).
+        self._summary_cache_hit: bool | None = None
 
     # -- shared artifacts ---------------------------------------------------
 
@@ -186,14 +221,88 @@ class AnalysisEngine:
         """A ``program_factory`` for the hbench/boot path (see above)."""
         return self.fresh_kernel_program
 
-    def artifacts(self) -> SharedArtifacts:
-        """Shared artifacts for the configured precision (memory-cached)."""
+    def artifacts(self, jobs: int = 1) -> SharedArtifacts:
+        """Shared artifacts for the configured precision (memory-cached).
+
+        With ``jobs > 1`` the interprocedural summary computation is
+        scheduled in SCC waves across a fork pool — components of the same
+        wave are mutually independent, so the merged result is byte-identical
+        with the serial bottom-up order by construction.
+        """
         key = self.cache.content_key(
             "artifacts", files=self.files, defines=self.defines,
             extra={"precision": self.precision.name})
         return self.cache.get_or_build(
-            key, lambda: build_shared_artifacts(self.program(), self.precision),
+            key,
+            lambda: build_shared_artifacts(
+                self.program(), self.precision,
+                summary_solver=lambda program, graph, condensation:
+                self._solve_summaries(program, graph, condensation, jobs)),
             persist=False)
+
+    def _solve_summaries(self, program, graph, condensation, jobs: int):
+        """The cache-aware summary solver injected into the artifact build.
+
+        The cache key mixes in the call-graph fingerprint — any change to
+        the corpus or to the points-to resolution produces a different graph
+        hash and invalidates persisted summaries; the summaries themselves
+        are small, picklable records, so they round-trip through the
+        on-disk layer (``--cache-dir``) across processes.
+        """
+        key = self.cache.content_key(
+            "summaries", files=self.files, defines=self.defines,
+            extra={"precision": self.precision.name,
+                   "callgraph": callgraph_fingerprint(graph)})
+        self._summary_cache_hit = self.cache.contains(key)
+        return self.cache.get_or_build(
+            key, lambda: self._compute_summaries(program, graph,
+                                                 condensation, jobs))
+
+    def _compute_summaries(self, program, graph, condensation, jobs: int):
+        global _SUMMARY_CONTEXT
+        ctx = build_context(program, graph)
+        use_parallel = (jobs > 1
+                        and "fork" in multiprocessing.get_all_start_methods())
+        if not use_parallel:
+            return solve_summaries(program, graph, condensation, ctx)
+        _SUMMARY_CONTEXT = (ctx, graph)
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=jobs) as pool:
+                def scc_runner(wave_sccs, _ctx, _graph, solved):
+                    # Each task carries only the summaries its component can
+                    # actually look up (its members' out-of-SCC callees),
+                    # not the whole solved dict — keeping the per-task
+                    # pickle payload constant-size as the corpus grows.
+                    tasks = []
+                    for scc in wave_sccs:
+                        members = set(scc)
+                        needed = {}
+                        for name in scc:
+                            for callee in graph.edges.get(name, ()):
+                                if callee not in members and callee in solved:
+                                    needed[callee] = solved[callee]
+                        tasks.append((scc, needed))
+                    return pool.map(_solve_scc_task, tasks)
+
+                return solve_summaries(program, graph, condensation, ctx,
+                                       scc_runner=scc_runner)
+        finally:
+            _SUMMARY_CONTEXT = None
+
+    def summary_stats(self, artifacts: SharedArtifacts) -> dict:
+        """Condensation/summary metrics for the report (and the CI bench)."""
+        condensation = artifacts.condensation
+        return {
+            "functions": len(artifacts.summaries),
+            "sccs": len(condensation.sccs),
+            "waves": len(condensation.waves),
+            "largest_wave": max((len(w) for w in condensation.waves),
+                                default=0),
+            "recursive_functions": len(condensation.recursive_functions()),
+            "cache_hit": (True if self._summary_cache_hit is None
+                          else self._summary_cache_hit),
+        }
 
     # -- running ------------------------------------------------------------
 
@@ -237,7 +346,7 @@ class AnalysisEngine:
         global _WORKER_CONTEXT
         start = time.perf_counter()
         names = self.resolve_analyses(analyses)
-        artifacts = self.artifacts()
+        artifacts = self.artifacts(jobs=jobs)
         tasks = self._build_tasks(names, artifacts)
 
         use_parallel = (jobs > 1 and len(tasks) > 1
@@ -270,4 +379,5 @@ class AnalysisEngine:
         report.cache_stats = {"hits": self.cache.hits,
                               "misses": self.cache.misses,
                               "disk_hits": self.cache.disk_hits}
+        report.summary_stats = self.summary_stats(artifacts)
         return report

@@ -1,6 +1,8 @@
 """Experiment harness: regenerate every table, figure and in-text number."""
 
 from .blockstop_eval import (
+    ALL_SEEDED_CALLERS,
+    INTERPROC_BUG_CALLERS,
     BlockStopEvalResult,
     PAPER_BLOCKSTOP,
     SEEDED_BUG_CALLERS,
@@ -19,7 +21,8 @@ from .report import FullReport, run_all
 from .table1 import Table1Result, run_table1
 
 __all__ = [
-    "BlockStopEvalResult", "PAPER_BLOCKSTOP", "SEEDED_BUG_CALLERS",
+    "ALL_SEEDED_CALLERS", "BlockStopEvalResult", "INTERPROC_BUG_CALLERS",
+    "PAPER_BLOCKSTOP", "SEEDED_BUG_CALLERS",
     "run_blockstop_eval",
     "CCountOverheadResult", "OverheadRow", "PAPER_CCOUNT_OVERHEADS",
     "run_ccount_overheads", "run_locked_cost_sweep",

@@ -18,8 +18,18 @@ PAPER_BLOCKSTOP = {
     "runtime_checks": 15,
 }
 
-#: The functions the corpus's seeded bugs live in (ground truth for scoring).
+#: The functions the paper's two seeded bugs live in (ground truth for
+#: scoring against PAPER_BLOCKSTOP["real_bugs"]).
 SEEDED_BUG_CALLERS = frozenset({"buggy_stats_update", "disk_timeout_interrupt"})
+
+#: Additional seeded bugs only the interprocedural summary framework finds
+#: (the caller never names a disable primitive; the atomic context arrives
+#: through the callee's IRQ delta).  Scored separately so the paper's
+#: two-bug headline number stays comparable.
+INTERPROC_BUG_CALLERS = frozenset({"buggy_deferred_flush"})
+
+#: Every caller whose report is a true positive, paper-era or interprocedural.
+ALL_SEEDED_CALLERS = SEEDED_BUG_CALLERS | INTERPROC_BUG_CALLERS
 
 
 @dataclass
@@ -42,20 +52,26 @@ class BlockStopEvalResult:
     def real_bugs_found(self) -> int:
         return len(self.real_bug_callers & SEEDED_BUG_CALLERS)
 
+    @property
+    def interproc_bugs_found(self) -> int:
+        return len(self.real_bug_callers & INTERPROC_BUG_CALLERS)
+
     def shape_holds(self) -> bool:
         """The §2.3 claims:
 
-        * both seeded bugs are found;
+        * both seeded bugs are found (plus the interprocedural seeds the
+          summary framework adds);
         * the conservative points-to analysis also produces false positives;
         * the manual run-time checks silence every false positive while the
           real bugs are still reported;
         * the field-sensitive points-to ablation removes (most of) the false
           positives without the manual checks.
         """
-        bugs_found = self.real_bugs_found == 2
+        bugs_found = (self.real_bugs_found == 2
+                      and self.interproc_bugs_found == len(INTERPROC_BUG_CALLERS))
         has_false_positives = len(self.false_positive_callees) > 0
         silenced = (self.after.violations_reported > 0
-                    and {v.caller for v in self.after.reported} <= SEEDED_BUG_CALLERS
+                    and {v.caller for v in self.after.reported} <= ALL_SEEDED_CALLERS
                     and self.after.violations_silenced > 0)
         improved = (self.field_sensitive.violations_reported
                     <= self.before.violations_reported)
@@ -93,12 +109,12 @@ def run_blockstop_eval(engine: "AnalysisEngine | None" = None) -> BlockStopEvalR
     before = build_report(before_result)
 
     real_bug_callers = {v.caller for v in before_result.reported
-                        if v.caller in SEEDED_BUG_CALLERS}
+                        if v.caller in ALL_SEEDED_CALLERS}
     # Every blocking callee implicated from a non-seeded caller is a false
     # positive of the conservative points-to analysis; the remedy is a manual
     # run-time assertion at the top of that callee.
     false_positive_callees = {v.callee for v in before_result.reported
-                              if v.caller not in SEEDED_BUG_CALLERS}
+                              if v.caller not in ALL_SEEDED_CALLERS}
     checks = RuntimeCheckSet(set(false_positive_callees))
 
     after_result = run_blockstop(program, Precision.TYPE_BASED,

@@ -9,6 +9,12 @@ that structure:
 * two real bugs — a statistics path that allocates with ``GFP_KERNEL`` while
   holding an irq-saving spinlock, and an interrupt handler that waits on a
   completion;
+* two *interprocedural* bugs only the summary framework can see — a helper
+  that returns with a spinlock still held on its error path (the leak
+  propagates to its caller), and a blocking call made while interrupts are
+  disabled purely through a callee's IRQ delta (``stats_freeze`` disables,
+  the caller blocks, ``stats_thaw`` re-enables); a purely intraprocedural
+  scan reports neither;
 * a deferred-work table of *blocking* helpers and a notifier chain of
   *non-blocking* callbacks that share a function signature.  The notifier
   chain is walked with interrupts disabled; a signature-based analysis cannot
@@ -75,6 +81,63 @@ void disk_io_complete(void)
 void watchdog_register_handlers(void)
 {
     request_irq(7, disk_timeout_interrupt, 0);
+}
+
+/* ------------------------------------------------------------------ */
+/* Interprocedural bug #1: a helper that leaks a lock on its error path */
+/* ------------------------------------------------------------------ */
+
+static struct spinlock audit_slot_lock;
+static unsigned int audit_slots_used;
+
+int audit_reserve_slot(int count)
+{
+    spin_lock(&audit_slot_lock);
+    if (count > 8) {
+        /* BUG: early return leaks audit_slot_lock to the caller. */
+        return -EINVAL;
+    }
+    audit_slots_used = audit_slots_used + count;
+    spin_unlock(&audit_slot_lock);
+    return 0;
+}
+
+int buggy_audit_reserve(int count)
+{
+    int rc;
+    /* The leak propagates: this caller may also return with the lock
+       held, without ever naming audit_slot_lock itself. */
+    rc = audit_reserve_slot(count);
+    if (rc < 0) {
+        audit_events = audit_events + 1;
+    }
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* Interprocedural bug #2: blocking under a callee's IRQ disable        */
+/* ------------------------------------------------------------------ */
+
+void stats_freeze(void)
+{
+    /* Intentional disable helper: returns with interrupts off.  Its
+       summary carries the +1 IRQ delta to every caller. */
+    local_irq_disable();
+}
+
+void stats_thaw(void)
+{
+    local_irq_enable();
+}
+
+void buggy_deferred_flush(int code)
+{
+    stats_freeze();
+    /* BUG: audit_log_event can sleep, and interrupts are disabled here --
+       but only through stats_freeze's summary; no disable primitive is
+       visible in this function. */
+    audit_log_event(code);
+    stats_thaw();
 }
 
 /* ------------------------------------------------------------------ */
@@ -257,8 +320,10 @@ unsigned int notifier_call_count(void)
 void watchdog_init(void)
 {
     spin_lock_init(&stats_lock);
+    spin_lock_init(&audit_slot_lock);
     init_completion(&disk_io_done);
     audit_events = 0;
+    audit_slots_used = 0;
     notifier_calls = 0;
     deferred_runs = 0;
 }

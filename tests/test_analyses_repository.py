@@ -188,10 +188,9 @@ class TestRepository:
         assert loaded.blocking_functions() == {"schedule"}
 
     def test_export_blocking_facts_from_kernel(self, kernel_program):
-        from repro.blockstop import propagate_blocking, propagate_over_graph
+        from repro.blockstop import derive_blocking
         graph, _ = build_direct_callgraph(kernel_program)
-        info = propagate_blocking(kernel_program, graph)
-        propagate_over_graph(graph, info)
+        info = derive_blocking(kernel_program, graph)
         facts = export_blocking_facts(info, graph)
         db = AnnotationDatabase()
         db.add_all(facts)

@@ -8,10 +8,9 @@ from repro.blockstop import (
     build_direct_callgraph,
     build_report,
     collect_seeds,
+    derive_blocking,
     emit_annotations,
     insert_assertions,
-    propagate_blocking,
-    propagate_over_graph,
     run_blockstop,
 )
 from repro.blockstop import runtime_checks as bs_runtime
@@ -124,25 +123,24 @@ class TestBlockingPropagation:
         info = collect_seeds(program)
         assert "schedule" in info.seeds
 
-    def test_backwards_propagation(self):
+    def test_summary_derived_closure(self):
         program = build(SIMPLE_SOURCE)
         graph, _ = build_direct_callgraph(program)
-        info = propagate_blocking(program, graph)
+        info = derive_blocking(program, graph)
         assert {"schedule", "helper", "outer"} <= info.may_block
         assert "good_atomic" not in info.may_block
 
     def test_gfp_atomic_call_does_not_block(self):
         program = build(GFP_SOURCE)
         graph, _ = build_direct_callgraph(program)
-        info = propagate_blocking(program, graph)
+        info = derive_blocking(program, graph)
         assert "atomic_alloc_bad" in info.may_block
         assert "atomic_alloc_ok" not in info.may_block
 
     def test_emitted_annotations(self):
         program = build(SIMPLE_SOURCE)
         graph, _ = build_direct_callgraph(program)
-        info = propagate_blocking(program, graph)
-        propagate_over_graph(graph, info)
+        info = derive_blocking(program, graph)
         annotations = emit_annotations(info, graph)
         assert annotations.get("outer") == "blocking"
         assert "good_atomic" not in annotations

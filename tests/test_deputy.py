@@ -130,6 +130,99 @@ class TestStaticChecking:
         assert (without["f"].count(ObligationStatus.RUNTIME)
                 > with_opt["f"].count(ObligationStatus.RUNTIME))
 
+    OPTIMIZER_INDEX_SOURCE = """
+    int table[16];
+    int shared_index;
+    void touch(void);
+    int with_global_index(void) {
+        int a;
+        int b;
+        a = table[shared_index];
+        touch();
+        b = table[shared_index];
+        return a + b;
+    }
+    int with_local_index(int i) {
+        int a;
+        int b;
+        a = table[i];
+        touch();
+        b = table[i];
+        return a + b;
+    }
+    """
+
+    def test_optimizer_drops_global_index_check_across_call(self):
+        """A callee can write a global (or address-taken) index variable, so
+        the second check of a global-bound index after a call must be
+        re-emitted, not treated as redundant."""
+        results = check_program(build(self.OPTIMIZER_INDEX_SOURCE),
+                                DeputyOptions(optimize=True))
+        globals_result = results["with_global_index"]
+        assert globals_result.count(ObligationStatus.ELIDED) == 0
+        assert globals_result.count(ObligationStatus.RUNTIME) >= 2
+
+    def test_optimizer_keeps_eliding_local_index_check_across_call(self):
+        """A non-address-taken parameter is callee-immune: the repeated
+        index check across the call is still safely elided."""
+        results = check_program(build(self.OPTIMIZER_INDEX_SOURCE),
+                                DeputyOptions(optimize=True))
+        assert results["with_local_index"].count(ObligationStatus.ELIDED) >= 1
+
+    def test_optimizer_drops_heap_reading_index_check_across_call(self):
+        """An index check whose *bound* is read through a pointer
+        (``__deputy_check_index(i, b->n)``) depends on the heap, so
+        name-immunity of ``i`` and ``b`` must not keep it across a call."""
+        source = """
+        struct buf { int n; int * count(n) data; };
+        void touch(void);
+        int f(struct buf *b, int i) {
+            int x;
+            x = b->data[i];
+            touch();
+            x = x + b->data[i];
+            return x;
+        }
+        """
+        results = check_program(build(source), DeputyOptions(optimize=True))
+        assert results["f"].count(ObligationStatus.ELIDED) == 0
+
+    def test_optimizer_escapes_base_of_field_address(self):
+        """``&h.idx`` escapes ``h`` just as ``&h`` would: a callee can write
+        the field through the registered pointer, so the second index check
+        over ``h.idx`` is re-emitted — while a never-escaped local struct
+        stays callee-immune and its repeated check is still elided."""
+        source = """
+        struct holder { int idx; };
+        int table[16];
+        void reg(int *p);
+        void ping(void);
+        int escapes(void) {
+            struct holder h;
+            int a;
+            int b;
+            h.idx = 3;
+            reg(&h.idx);
+            a = table[h.idx];
+            ping();
+            b = table[h.idx];
+            return a + b;
+        }
+        int immune(void) {
+            struct holder h;
+            int a;
+            int b;
+            h.idx = 3;
+            a = table[h.idx];
+            ping();
+            b = table[h.idx];
+            return a + b;
+        }
+        """
+        results = check_program(build(source), DeputyOptions(optimize=True))
+        assert results["escapes"].count(ObligationStatus.ELIDED) == 0
+        assert results["immune"].count(ObligationStatus.ELIDED) >= 1
+
 
 class TestInstrumentedExecution:
     def test_in_bounds_execution_unchanged(self):

@@ -165,11 +165,12 @@ class TestHarnessShapes:
         assert result.boot_report.total_frees > 0
 
     def test_blockstop_shape(self):
-        from repro.harness import run_blockstop_eval
+        from repro.harness import INTERPROC_BUG_CALLERS, run_blockstop_eval
         result = run_blockstop_eval()
         assert result.real_bugs_found == 2
+        assert result.interproc_bugs_found == len(INTERPROC_BUG_CALLERS)
         assert len(result.false_positive_callees) >= 10
-        assert result.after.violations_reported == 2
+        assert result.after.violations_reported == 2 + len(INTERPROC_BUG_CALLERS)
         assert result.shape_holds()
 
     def test_ccount_overhead_shape(self):
