@@ -11,6 +11,8 @@ stay reported.
 from repro.benchutil import run_once
 from repro.harness import (
     ALL_SEEDED_CALLERS,
+    CONST_PRUNED_CALLERS,
+    CONST_TWIN_BUG_CALLERS,
     INTERPROC_BUG_CALLERS,
     PAPER_BLOCKSTOP,
     run_blockstop_eval,
@@ -24,17 +26,34 @@ def test_blockstop_bugs_and_false_positives(benchmark):
     print(f"runtime checks inserted: {len(result.runtime_checks)}")
     print(f"violations after checks: {result.after.violations_reported}")
     # Both of the paper's seeded bugs are found, plus the seeded
-    # interprocedural one (atomic only through the callee's IRQ delta).
+    # interprocedural one (atomic only through the callee's IRQ delta) and
+    # the live if (1) twin of the pruned constant-gated shape.
     assert result.real_bugs_found == PAPER_BLOCKSTOP["real_bugs"] == 2
     assert result.interproc_bugs_found == len(INTERPROC_BUG_CALLERS) == 1
+    assert result.const_twin_bugs_found == len(CONST_TWIN_BUG_CALLERS) == 1
     # The conservative points-to analysis produces false positives.
     assert len(result.false_positive_callees) >= 10
     # The manual run-time checks (paper: 15) silence all of them.
     assert 10 <= len(result.runtime_checks) <= 20
     assert {v.caller for v in result.after.reported} <= ALL_SEEDED_CALLERS
-    assert result.after.violations_reported == 2 + len(INTERPROC_BUG_CALLERS)
+    assert result.after.violations_reported == (
+        2 + len(INTERPROC_BUG_CALLERS) + len(CONST_TWIN_BUG_CALLERS))
     assert result.after.violations_silenced >= len(result.runtime_checks)
     assert result.shape_holds()
+
+
+def test_blockstop_condition_gated_false_positives_pruned(benchmark):
+    """The constant-propagation lattice prunes condition-gated shapes: the
+    if (0)-guarded blocking call and lock acquire produce zero reports, while
+    their if (1) twins keep reporting — scored as the pruned-FP metric."""
+    result = run_once(benchmark, run_blockstop_eval)
+    print()
+    print(f"pruned-FP reports (must be 0): {result.pruned_fp_reports}")
+    print(f"const twins still reported   : {result.const_twin_bugs_found}")
+    assert result.pruned_fp_reports == 0
+    before_callers = {v.caller for v in result.before.reported}
+    assert not (before_callers & CONST_PRUNED_CALLERS)
+    assert before_callers >= CONST_TWIN_BUG_CALLERS
 
 
 def test_blockstop_field_sensitive_ablation(benchmark):

@@ -19,6 +19,14 @@ Every use of a call's result is classified explicitly:
   killed by an intervening re-assignment.
 * anything else is an unrecognized position and is reported as unchecked —
   nothing falls through to "checked" silently.
+
+The scan is condition-aware (:mod:`repro.dataflow.consts`): a call inside a
+constant-false arm never runs, so it creates no obligation at all, and the
+assigned-then-compared solve skips infeasible edges.  Checks themselves may
+be expressed through folded constants — ``switch (ret) { case -EINVAL: }``
+and ``if (ret == <folded #define constant>)`` both credit the obligation
+(the comparison crediting is structural; the error-*return* detection folds
+``return 0 - EINVAL;``-style expressions through the constants evaluator).
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from dataclasses import dataclass, field
 
 from ..annotations.attrs import AnnotationKind
 from ..dataflow import COND, DECL, build_cfg, reachable_blocks, solve_forward
+from ..dataflow.consts import FunctionConsts, consts_of, refined_edges
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.visitor import iter_child_nodes, walk
@@ -96,20 +105,27 @@ def find_error_returning_functions(
 
 def analyse_error_checks(program: Program,
                          error_returning: set[str] | None = None,
-                         functions: list[str] | None = None) -> ErrcheckReport:
+                         functions: list[str] | None = None,
+                         consts: dict[str, FunctionConsts | None] | None = None,
+                         ) -> ErrcheckReport:
     """Check that error-returning calls have their results examined.
 
     ``error_returning`` may be supplied pre-built (it is a whole-program
     artifact the engine shares); ``functions`` restricts the scan to a subset
     of defined functions so the engine can shard by translation unit.  The
     ``unchecked`` list comes out sorted by (function, location) so shard
-    merge order never changes the rendered report.
+    merge order never changes the rendered report.  ``consts`` supplies the
+    per-function constant facts (solved on demand when absent): calls inside
+    constant-false arms create no obligation at all, and the
+    assigned-then-compared pass never propagates pending obligations across
+    infeasible edges.
     """
     report = ErrcheckReport()
     report.error_returning = (error_returning if error_returning is not None
                               else find_error_returning_functions(program))
+    consts_cache = consts if consts is not None else {}
     for caller, func in program.functions_subset(functions):
-        _scan_function(report, caller, func)
+        _scan_function(report, caller, func, consts_cache)
     report.unchecked.sort(key=_unchecked_sort_key)
     return report
 
@@ -312,12 +328,26 @@ def _join(a: PendingState, b: PendingState) -> PendingState:
 
 
 def _scan_function(report: ErrcheckReport, caller: str,
-                   func: ast.FuncDef) -> None:
+                   func: ast.FuncDef,
+                   consts_cache: dict[str, FunctionConsts | None]) -> None:
     call_nodes = [node for node in walk(func.body)
                   if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
                       and node.func.name in report.error_returning)]
     if not call_nodes:
         return      # skip the parent-map walk on the (common) irrelevant function
+    func_consts = consts_of(func, cache=consts_cache)
+    cfg = None
+    if func_consts is not None and func_consts.prunes:
+        # A call in a provably-dead arm can never run: it creates no
+        # obligation (and is not "checked" either — it simply is not there).
+        cfg = build_cfg(func)
+        live = {id(node)
+                for block in cfg.blocks if block.index in func_consts.reachable
+                for element in block.elements if element.expr is not None
+                for node in walk(element.expr)}
+        call_nodes = [node for node in call_nodes if id(node) in live]
+        if not call_nodes:
+            return
     parents = _parent_map(func.body)
     calls: list[tuple[ast.Call, str, str | None]] = [
         (node, *_classify_usage(node, parents)) for node in call_nodes]
@@ -326,7 +356,7 @@ def _scan_function(report: ErrcheckReport, caller: str,
                 if kind == "assigned"}
     checked_ids: set[int] = set()
     if assigned:
-        cfg = build_cfg(func)
+        cfg = cfg or build_cfg(func)
 
         def transfer(block, state: PendingState) -> PendingState:
             for element in block.elements:
@@ -334,7 +364,8 @@ def _scan_function(report: ErrcheckReport, caller: str,
             return state
 
         in_states = solve_forward(cfg, transfer, _join,
-                                  entry_state=frozenset())
+                                  entry_state=frozenset(),
+                                  edge_refine=refined_edges(func_consts))
         for block, state in reachable_blocks(cfg, in_states):
             for element in block.elements:
                 state = _apply_element(state, element, assigned, checked_ids)

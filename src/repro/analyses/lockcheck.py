@@ -14,7 +14,11 @@ The per-function scan is flow-sensitive: it runs on the shared CFG +
 fixpoint solver (:mod:`repro.dataflow`).  The abstract state pairs the
 *must-hold* multiset of locks — ``(lock, count)`` pairs whose join at merge
 points is intersection with minimum counts — with a *may-hold* set (join =
-union) that tracks locks possibly held on some path.
+union) that tracks locks possibly held on some path.  The solve is
+condition-aware (:mod:`repro.dataflow.consts`): branch edges whose
+condition folds to a constant false are infeasible, so an acquisition in an
+``if (0)``-guarded arm never reaches the merge, the exit state, or any
+caller's summary.
 
 Since the interprocedural summary framework
 (:mod:`repro.dataflow.interproc`) the scan also applies each callee's
@@ -37,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataflow import build_cfg, reachable_blocks, solve_forward
+from ..dataflow.consts import FunctionConsts, consts_of, refined_edges
 from ..dataflow.summaries import (
     LOCK_ACQUIRE_CALLS,
     LOCK_RELEASE_CALLS,
@@ -211,6 +216,7 @@ class _FunctionScan:
 def collect_lock_facts(program: Program,
                        functions: list[str] | None = None,
                        summaries: dict[str, FunctionSummary] | None = None,
+                       consts: dict[str, FunctionConsts | None] | None = None,
                        ) -> LockFacts:
     """Collect acquisitions, interprocedural re-acquisitions, and leaks.
 
@@ -219,15 +225,21 @@ def collect_lock_facts(program: Program,
     ``held_before`` is flow-sensitive must-hold information: a lock acquired
     on only one path to the site is not included.  With ``summaries``
     supplied, callee lock deltas are applied at call sites; without them the
-    scan degrades to the purely intraprocedural behaviour.
+    scan degrades to the purely intraprocedural behaviour.  ``consts`` maps
+    function names to solved constant facts (the engine's keyed artifact);
+    missing entries are solved on demand, and the resulting infeasible-edge
+    set prunes the solve — an acquisition inside an ``if (0)`` arm never
+    reaches the exit state, so it is neither recorded nor reported leaked.
     """
     summaries = summaries or {}
+    consts_cache = consts if consts is not None else {}
     facts = LockFacts()
     for name, func in program.functions_subset(functions):
         if not _scan_relevant(func, summaries):
             continue    # nothing can move the lock state: skip CFG + solve
         scan = _FunctionScan(name, summaries)
         cfg = build_cfg(func)
+        func_consts = consts_of(func, cache=consts_cache, cfg=cfg)
 
         def transfer(block, state, _scan=scan):
             for element in block.elements:
@@ -235,7 +247,8 @@ def collect_lock_facts(program: Program,
             return state
 
         in_states = solve_forward(cfg, transfer, _join,
-                                  entry_state=_ENTRY_STATE)
+                                  entry_state=_ENTRY_STATE,
+                                  edge_refine=refined_edges(func_consts))
         scan.facts = facts
         for block, state in reachable_blocks(cfg, in_states):
             for element in block.elements:
@@ -332,6 +345,7 @@ def derive_report(acquisitions: list[LockAcquisition],
 def analyse_locks(program: Program,
                   irq_functions: set[str] | None = None,
                   summaries: dict[str, FunctionSummary] | None = None,
+                  consts: dict[str, FunctionConsts | None] | None = None,
                   ) -> LockReport:
     """Run the lock-safety analysis over every function of ``program``.
 
@@ -341,7 +355,7 @@ def analyse_locks(program: Program,
     """
     if summaries is None:
         summaries = _build_summaries(program)
-    facts = collect_lock_facts(program, summaries=summaries)
+    facts = collect_lock_facts(program, summaries=summaries, consts=consts)
     return derive_report(facts.acquisitions, irq_functions,
                          interproc_acquires=facts.interproc_acquires,
                          leaks=facts.leaks)

@@ -11,7 +11,8 @@ The analysis proceeds in four steps:
    ``spin_lock_irqsave``, ``spin_lock_irq``, ``cli``), because it called a
    helper whose summary says it returns with interrupts disabled (the callee
    IRQ delta), or because the function is an interrupt handler (registered
-   through ``request_irq``);
+   through ``request_irq``) — skipping constant-false branch arms, which the
+   shared constants lattice (:mod:`repro.dataflow.consts`) proves dead;
 4. report every call site inside an atomic region whose callee may block,
    excluding paths that run through functions carrying the manual run-time
    assertion (:mod:`repro.blockstop.runtime_checks`).
@@ -25,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataflow import build_cfg, reachable_blocks, solve_forward
+from ..dataflow.consts import FunctionConsts, consts_of, refined_edges
 from ..dataflow.interproc import solve_summaries
 from ..dataflow.summaries import (
     IRQ_DEPTH_CAP,
@@ -140,7 +142,8 @@ class BlockStopChecker:
                  graph: CallGraph | None = None,
                  blocking: BlockingInfo | None = None,
                  irq_handlers: set[str] | None = None,
-                 summaries: dict[str, FunctionSummary] | None = None) -> None:
+                 summaries: dict[str, FunctionSummary] | None = None,
+                 consts: dict[str, FunctionConsts | None] | None = None) -> None:
         self.program = program
         self.precision = precision
         self.runtime_checks = runtime_checks or RuntimeCheckSet()
@@ -148,6 +151,8 @@ class BlockStopChecker:
         self._blocking = blocking
         self._irq_handlers = irq_handlers
         self._summaries = summaries
+        #: Per-function constant facts (engine artifact or lazily solved).
+        self.consts = consts if consts is not None else {}
         self.summaries: dict[str, FunctionSummary] = {}
 
     def run(self) -> BlockStopResult:
@@ -216,10 +221,16 @@ class BlockStopChecker:
         with interrupts disabled raises the depth exactly as a direct
         ``local_irq_disable`` would, so a blocking call that is atomic only
         *because of* the callee's delta is found in the caller.
+
+        The solve is condition-aware: constant-false branch edges (a
+        ``#define DEBUG 0`` debug arm inside the atomic region) are
+        infeasible, so calls in provably-dead arms are never recorded as
+        atomic call sites.
         """
         if not starts_atomic and not self._can_raise_depth(func):
             return      # depth can never leave 0: skip the CFG + solve cost
         cfg = build_cfg(func)
+        func_consts = consts_of(func, cache=self.consts, cfg=cfg)
         entry_depth = 1 if starts_atomic else 0
 
         def transfer(block, depth: int) -> int:
@@ -227,7 +238,8 @@ class BlockStopChecker:
                 depth = self._apply_element(element.expr, depth)
             return depth
 
-        in_states = solve_forward(cfg, transfer, max, entry_state=entry_depth)
+        in_states = solve_forward(cfg, transfer, max, entry_state=entry_depth,
+                                  edge_refine=refined_edges(func_consts))
         for block, depth in reachable_blocks(cfg, in_states):
             for element in block.elements:
                 depth = self._apply_element(element.expr, depth,
@@ -355,8 +367,10 @@ def run_blockstop(program: Program,
                   blocking: BlockingInfo | None = None,
                   irq_handlers: set[str] | None = None,
                   summaries: dict[str, FunctionSummary] | None = None,
+                  consts: dict[str, FunctionConsts | None] | None = None,
                   ) -> BlockStopResult:
     """Convenience entry point: run the full BlockStop analysis."""
     return BlockStopChecker(program, precision, runtime_checks,
                             graph=graph, blocking=blocking,
-                            irq_handlers=irq_handlers, summaries=summaries).run()
+                            irq_handlers=irq_handlers, summaries=summaries,
+                            consts=consts).run()

@@ -6,10 +6,14 @@ The package has two layers:
   control-flow graphs over MiniC function bodies (basic blocks for
   ``if``/``else``, loops, ``switch``, early ``return``,
   ``break``/``continue`` and ``goto``/labels, with edges carrying branch
-  information), and :mod:`repro.dataflow.solver` is a small forward-dataflow
+  information), :mod:`repro.dataflow.solver` is a small forward-dataflow
   fixpoint solver: lattice join at merge points, loop iteration to a
-  fixpoint, plus the replay helper the analyses use to record facts against
-  the solved per-block input states.
+  fixpoint, an ``edge_refine`` hook for branch-edge facts and pruning, plus
+  the replay helper the analyses use to record facts against the solved
+  per-block input states — and :mod:`repro.dataflow.consts` is the
+  condition-aware layer: a constant-propagation lattice whose solved
+  per-function facts mark constant-false branch edges infeasible, so every
+  client lattice skips provably-dead arms instead of joining them.
 * the *interprocedural* half — :mod:`repro.dataflow.summaries` defines the
   per-function :class:`FunctionSummary` lattice element (lock delta,
   may-return-held, IRQ delta, may-block, error-return set, frame size and
@@ -29,6 +33,14 @@ every caller is computed once per callee and applied at each call site.
 """
 
 from .cfg import COND, DECL, EXPR, RETURN, CFG, BasicBlock, Edge, Element, build_cfg
+from .consts import (
+    FunctionConsts,
+    consts_of,
+    eval_const,
+    refined_edges,
+    solve_function_consts,
+    solve_program_consts,
+)
 from .interproc import (
     Condensation,
     SummaryDivergence,
@@ -37,7 +49,7 @@ from .interproc import (
     solve_scc,
     solve_summaries,
 )
-from .solver import FixpointDivergence, reachable_blocks, solve_forward
+from .solver import INFEASIBLE, FixpointDivergence, reachable_blocks, solve_forward
 from .summaries import FunctionSummary, SummaryContext, build_context
 
 __all__ = [
@@ -47,7 +59,9 @@ __all__ = [
     "Condensation",
     "DECL",
     "EXPR",
+    "FunctionConsts",
     "FunctionSummary",
+    "INFEASIBLE",
     "RETURN",
     "Edge",
     "Element",
@@ -57,9 +71,14 @@ __all__ = [
     "build_context",
     "callgraph_fingerprint",
     "condense_callgraph",
+    "consts_of",
+    "eval_const",
     "FixpointDivergence",
     "reachable_blocks",
+    "refined_edges",
     "solve_forward",
+    "solve_function_consts",
+    "solve_program_consts",
     "solve_scc",
     "solve_summaries",
 ]

@@ -68,6 +68,18 @@ class BasicBlock:
     succs: list[Edge] = field(default_factory=list)
     preds: list[int] = field(default_factory=list)
 
+    def condition_element(self) -> Optional[Element]:
+        """The branch condition this block dispatches on, if any.
+
+        The builder always appends the ``COND`` element last and only then
+        attaches the labelled branch edges, so a block's branching condition
+        — consumed by the edge-refinement layer
+        (:mod:`repro.dataflow.consts`) — is its trailing element.
+        """
+        if self.elements and self.elements[-1].kind == COND:
+            return self.elements[-1]
+        return None
+
 
 @dataclass
 class CFG:

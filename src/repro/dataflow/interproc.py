@@ -253,6 +253,7 @@ def solve_summaries(
     condensation: Condensation | None = None,
     ctx: SummaryContext | None = None,
     scc_runner: Callable | None = None,
+    consts: dict | None = None,
 ) -> dict[str, FunctionSummary]:
     """Compute every function's summary, bottom-up over the condensation.
 
@@ -262,9 +263,14 @@ def solve_summaries(
     ``dict[str, FunctionSummary]`` per component, in wave order; the default
     solves them inline.  Merging is order-independent because components of
     a wave never overlap, so parallel and serial runs are identical.
+
+    ``consts`` pre-seeds the context's per-function constant facts (the
+    engine's keyed artifact); without it each function's facts are solved
+    lazily the first time its summary computation needs them, so standalone
+    callers still get the pruned-CFG summaries.
     """
     condensation = condensation or condense_callgraph(graph)
-    ctx = ctx or build_context(program, graph)
+    ctx = ctx or build_context(program, graph, consts=consts)
     solved: dict[str, FunctionSummary] = {}
     for wave in condensation.waves:
         wave_sccs = [condensation.sccs[index] for index in wave]

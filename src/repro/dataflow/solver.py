@@ -13,6 +13,14 @@ fixpoint) and if/else merges (both arms joined, never leaked into each
 other).  Unreachable blocks keep the input state ``None`` (bottom): the
 transfer function is never applied to them and joins ignore them.
 
+Since the condition-aware refactor (:mod:`repro.dataflow.consts`) the solver
+is edge-aware: an optional ``edge_refine(block, pos, edge, out_state)`` hook
+runs on every outgoing edge and may *refine* the propagated state with
+branch facts, or return the :data:`INFEASIBLE` sentinel to cut the edge
+entirely — the product-lattice step that keeps constant-false arms at
+bottom instead of joining them at the merge.  Analyses that pre-solve the
+constant component pass :func:`repro.dataflow.consts.refined_edges` here.
+
 Termination is the analysis's responsibility in principle (states must stop
 changing), but all the repro's lattices are finite; a generous iteration
 cap turns a non-converging transfer into a loud error instead of a hang.
@@ -23,10 +31,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Iterator, Optional
 
-from .cfg import CFG, BasicBlock
+from .cfg import CFG, BasicBlock, Edge
 
 TransferFn = Callable[[BasicBlock, Any], Any]
 JoinFn = Callable[[Any, Any], Any]
+EdgeRefineFn = Callable[[BasicBlock, int, Edge, Any], Any]
+
+#: Sentinel an ``edge_refine`` hook returns to mark an edge as never taken.
+INFEASIBLE = object()
 
 #: Upper bound on worklist pops per block before declaring divergence.
 MAX_VISITS_PER_BLOCK = 1000
@@ -41,12 +53,15 @@ def solve_forward(
     transfer: TransferFn,
     join: JoinFn,
     entry_state: Any,
+    edge_refine: Optional[EdgeRefineFn] = None,
 ) -> list[Optional[Any]]:
     """Solve a forward dataflow problem; returns per-block *input* states.
 
     The result is indexed by block index; ``None`` marks blocks no path
-    reaches.  Output states are recomputed on demand by re-applying
-    ``transfer`` (see :func:`iter_elements` for the recording pass).
+    reaches — whether because no edge leads there at all or because every
+    edge leading there was refined away as infeasible.  Output states are
+    recomputed on demand by re-applying ``transfer`` (see
+    :func:`iter_elements` for the recording pass).
     """
     in_states: list[Optional[Any]] = [None] * len(cfg.blocks)
     in_states[cfg.entry] = entry_state
@@ -63,10 +78,16 @@ def solve_forward(
                 f"dataflow did not converge in {cfg.function} "
                 f"({len(cfg.blocks)} blocks, {visits} visits)"
             )
-        out_state = transfer(cfg.blocks[index], in_states[index])
-        for edge in cfg.blocks[index].succs:
+        block = cfg.blocks[index]
+        out_state = transfer(block, in_states[index])
+        for pos, edge in enumerate(block.succs):
+            edge_state = out_state
+            if edge_refine is not None:
+                edge_state = edge_refine(block, pos, edge, out_state)
+                if edge_state is INFEASIBLE:
+                    continue
             current = in_states[edge.target]
-            merged = out_state if current is None else join(current, out_state)
+            merged = edge_state if current is None else join(current, edge_state)
             if merged != current:
                 in_states[edge.target] = merged
                 if edge.target not in queued:

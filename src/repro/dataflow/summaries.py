@@ -23,6 +23,12 @@ each SCC to a fixpoint of the (finite, capped) lattice.  This module is
 deliberately independent of :mod:`repro.blockstop` — the primitive tables
 and the GFP constant folding live here and are re-exported by the checkers
 that historically owned them.
+
+Since the condition-aware refactor the per-function computation runs over
+the *pruned* CFG (:mod:`repro.dataflow.consts`): a lock acquired, a
+blocking primitive reached, or an error code returned only inside a
+constant-false arm contributes nothing to the summary, so the imprecision
+never compounds through callers.
 """
 
 from __future__ import annotations
@@ -37,7 +43,8 @@ from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.pretty import render_expression
 from ..minic.visitor import walk
-from .cfg import build_cfg
+from .cfg import RETURN, build_cfg
+from .consts import FunctionConsts, consts_of, eval_const, refined_edges
 from .solver import solve_forward
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a package cycle
@@ -146,23 +153,13 @@ def flags_may_wait(call: ast.Call) -> bool:
 
 
 def constant_of(expr: ast.Expr) -> int | None:
-    """Fold an integer-constant expression, or None when it is not one."""
-    if isinstance(expr, (ast.IntLit, ast.CharLit)):
-        return expr.value
-    if isinstance(expr, ast.Binary):
-        left = constant_of(expr.left)
-        right = constant_of(expr.right)
-        if left is None or right is None:
-            return None
-        if expr.op == "|":
-            return left | right
-        if expr.op == "&":
-            return left & right
-        if expr.op == "+":
-            return left + right
-    if isinstance(expr, ast.Cast):
-        return constant_of(expr.operand)
-    return None
+    """Fold an integer-constant expression, or None when it is not one.
+
+    Delegates to the constants lattice's evaluator
+    (:func:`repro.dataflow.consts.eval_const`) with an empty environment —
+    one folding engine for GFP flags, error codes and branch conditions.
+    """
+    return eval_const(expr)
 
 
 # ---------------------------------------------------------------------------
@@ -239,9 +236,16 @@ class SummaryContext:
     conditional_seeds: frozenset[str] = frozenset()
     errcode_annotated: frozenset[str] = frozenset()
     resolved_indirect: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: Per-function constant facts; seeded from the engine's keyed artifact
+    #: when available, filled lazily (memoized) otherwise.
+    consts: dict[str, FunctionConsts | None] = field(default_factory=dict)
 
 
-def build_context(program: Program, graph: "CallGraph") -> SummaryContext:
+def build_context(
+    program: Program,
+    graph: "CallGraph",
+    consts: dict[str, FunctionConsts | None] | None = None,
+) -> SummaryContext:
     """Derive the summary-computation context from program + call graph."""
     blocking: set[str] = set()
     conditional: set[str] = set()
@@ -264,6 +268,7 @@ def build_context(program: Program, graph: "CallGraph") -> SummaryContext:
         conditional_seeds=frozenset(conditional),
         errcode_annotated=frozenset(errcodes),
         resolved_indirect={caller: frozenset(callees) for caller, callees in resolved.items()},
+        consts=dict(consts) if consts else {},
     )
 
 
@@ -421,7 +426,16 @@ def _error_codes_of(
     ctx: SummaryContext,
     lookup: Callable[[str], FunctionSummary | None],
 ) -> frozenset[int]:
-    """Error codes ``return expr`` may produce (direct or propagated)."""
+    """Error codes ``return expr`` may produce (direct or propagated).
+
+    Constant folding runs first: a return whose value folds to a negative
+    constant is an error return even when it is not literally ``-N`` —
+    ``return 0 - EINVAL;`` or ``return -(ERR_BASE + 2);`` with ``#define``d
+    names count, via the constant lattice's evaluator.
+    """
+    folded = eval_const(expr)
+    if folded is not None:
+        return frozenset({folded}) if folded < 0 else frozenset()
     if isinstance(expr, ast.Cast):
         return _error_codes_of(expr.operand, ctx, lookup)
     if isinstance(expr, ast.Comma) and expr.exprs:
@@ -488,6 +502,16 @@ def _caller_meaningful(lock: str, local_names: frozenset[str]) -> bool:
     return not (mentioned & local_names)
 
 
+def _live_elements(cfg, func_consts: FunctionConsts):
+    """Yield ``(element, expr)`` for every element on a feasible path."""
+    for block in cfg.blocks:
+        if block.index not in func_consts.reachable:
+            continue
+        for element in block.elements:
+            if element.expr is not None:
+                yield element, element.expr
+
+
 def _needs_cfg(func: ast.FuncDef, lookup: Callable[[str], FunctionSummary | None]) -> bool:
     """Whether any call in ``func`` can move the lock/IRQ state."""
     for node in walk(func.body):
@@ -529,28 +553,52 @@ def compute_summary(
             may_block=name in ctx.blocking_seeds,
             error_returns=(-1,) if name in ctx.errcode_annotated else (),
         )
+    func_consts = consts_of(func, cache=ctx.consts)
+    cfg = None
     may_block = name in ctx.blocking_seeds
     error_codes: set[int] = set()
-    for node in walk(func.body):
-        if isinstance(node, ast.Call) and not may_block:
-            if _call_may_block(node, name, ctx, lookup):
-                may_block = True
-        if isinstance(node, ast.Return) and node.value is not None:
-            error_codes |= _error_codes_of(node.value, ctx, lookup)
+    if func_consts is not None and func_consts.prunes:
+        # Condition-aware sweep: only expressions in blocks some feasible
+        # path reaches contribute.  A blocking call or an error return
+        # inside an ``if (0)`` arm must not escape into the summary — that
+        # is exactly what lets a conditionally-dead bug stop reporting
+        # ``may-block``/``may-return-held`` to every transitive caller.
+        cfg = build_cfg(func)
+        for element, expr in _live_elements(cfg, func_consts):
+            if not may_block:
+                for node in walk(expr):
+                    if isinstance(node, ast.Call) and _call_may_block(node, name, ctx, lookup):
+                        may_block = True
+                        break
+            if element.kind == RETURN:
+                error_codes |= _error_codes_of(expr, ctx, lookup)
+    else:
+        for node in walk(func.body):
+            if isinstance(node, ast.Call) and not may_block:
+                if _call_may_block(node, name, ctx, lookup):
+                    may_block = True
+            if isinstance(node, ast.Return) and node.value is not None:
+                error_codes |= _error_codes_of(node.value, ctx, lookup)
     if name in ctx.errcode_annotated:
         error_codes.add(-1)
 
     effects = _Effects()
     exit_state = ENTRY_STATE
     if _needs_cfg(func, lookup):
-        cfg = build_cfg(func)
+        cfg = cfg or build_cfg(func)
 
         def transfer(block, state: SummaryState) -> SummaryState:
             for element in block.elements:
                 state = step_element(element.expr, state, lookup, effects)
             return state
 
-        in_states = solve_forward(cfg, transfer, join_states, entry_state=ENTRY_STATE)
+        in_states = solve_forward(
+            cfg,
+            transfer,
+            join_states,
+            entry_state=ENTRY_STATE,
+            edge_refine=refined_edges(func_consts),
+        )
         solved_exit = in_states[cfg.exit]
         exit_state = solved_exit if solved_exit is not None else ENTRY_STATE
 

@@ -167,13 +167,27 @@ def _rebind_field_expr(expr: ast.Expr, base: ast.Expr) -> ast.Expr | None:
 
 
 def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
-                 options: DeputyOptions, loc: SourceLocation) -> Decision:
-    """Decide how to check ``base[index]``."""
+                 options: DeputyOptions, loc: SourceLocation,
+                 fold=None) -> Decision:
+    """Decide how to check ``base[index]``.
+
+    ``fold(expr) -> int | None`` supplies flow-sensitive constant facts from
+    the region cache (:class:`repro.deputy.optimizer.CheckCache`): an index
+    that is a variable with a proven-constant value, compared against a
+    constant bound, is discharged statically — the condition-aware twin of
+    the literal-constant case — instead of emitting
+    ``__deputy_check_index(k, n)``.  Only the *index* is folded through the
+    region facts: count/bound expressions name struct fields, which could
+    shadow an identically-named local, so they fold through literal
+    constants alone.
+    """
     base_type = env.type_of(base)
     facts = pointer_facts(base_type)
     if facts.trusted:
         return Decision(ObligationStatus.TRUSTED, ObligationKind.INDEX)
     index_const = constant_value(index)
+    if index_const is None and fold is not None:
+        index_const = fold(index)
     if facts.kind is PointerKind.COUNT and facts.count_expr is not None:
         count_const = constant_value(facts.count_expr)
         if (index_const is not None and count_const is not None
@@ -188,6 +202,11 @@ def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
                             [index, count_expr], loc)
         return Decision(ObligationStatus.RUNTIME, ObligationKind.INDEX, check=check)
     if facts.kind is PointerKind.BOUND and facts.bound_hi is not None:
+        bound_const = constant_value(facts.bound_hi)
+        if (index_const is not None and bound_const is not None
+                and 0 <= index_const < bound_const):
+            return Decision(ObligationStatus.STATIC, ObligationKind.INDEX,
+                            detail=f"constant index {index_const} < {bound_const}")
         check = _check_call("__deputy_check_index", [index, facts.bound_hi], loc)
         return Decision(ObligationStatus.RUNTIME, ObligationKind.INDEX, check=check)
     if facts.kind is PointerKind.NULLTERM:

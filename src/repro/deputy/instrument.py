@@ -142,7 +142,10 @@ def _callee_immune_names(func: ast.FuncDef) -> frozenset[str]:
     (``&x``) somewhere in the body; array locals decay to pointers at any
     use, so they never qualify.  Everything else — globals above all — can
     be stored to by a callee, which is what makes an index check over such
-    a name unsound to keep across a call.
+    a name unsound to keep across a call.  A name declared more than once
+    (an inner-scope local shadowing another local or a parameter) is also
+    excluded: the region cache keys checks and constant facts by bare name
+    and cannot tell the two storage locations apart.
     """
     from ..minic.ctypes import CArray
 
@@ -159,7 +162,9 @@ def _callee_immune_names(func: ast.FuncDef) -> frozenset[str]:
     escaped: set[str] = set()
     for node in walk(func.body):
         if isinstance(node, ast.Declaration) and node.name and not node.is_typedef:
-            if isinstance(node.type.strip(), CArray):
+            if node.name in names:
+                escaped.add(node.name)  # shadowed: ambiguous by name
+            elif isinstance(node.type.strip(), CArray):
                 escaped.add(node.name)
             else:
                 names.add(node.name)
@@ -168,6 +173,12 @@ def _callee_immune_names(func: ast.FuncDef) -> frozenset[str]:
             if name is not None:
                 escaped.add(name)
     return frozenset(names - escaped)
+
+
+def _case_terminates(stmts: list[ast.Stmt]) -> bool:
+    """Whether a case arm's statement list cannot fall into the next arm."""
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Break, ast.Return, ast.Goto, ast.Continue))
 
 
 def _has_side_effects(check: ast.Expr) -> bool:
@@ -277,12 +288,15 @@ class _FunctionInstrumenter:
             if init is not None:
                 self._instrument_initializer(init, cache)
             cache.invalidate_name(stmt.decl.name)
+            cache.bind_decl(stmt.decl.name,
+                            init.expr if init is not None and not init.is_list
+                            else None)
             return stmt
         if isinstance(stmt, ast.If):
             stmt.cond = self.expr(stmt.cond, cache)
             self._after_effects(stmt.cond, cache)
-            then_cache = cache.fork()
-            else_cache = cache.fork()
+            then_cache = cache.fork(stmt.cond, branch_true=True)
+            else_cache = cache.fork(stmt.cond, branch_true=False)
             stmt.then = self.stmt(stmt.then, then_cache)
             if stmt.otherwise is not None:
                 stmt.otherwise = self.stmt(stmt.otherwise, else_cache)
@@ -292,6 +306,10 @@ class _FunctionInstrumenter:
             cache.invalidate_all()
             body_cache = self.fresh_cache()
             stmt.cond = self.expr(stmt.cond, body_cache)
+            # Every iteration enters the body through the condition, so the
+            # body may assume its truth facts (the region reset above keeps
+            # loop-carried state out).
+            body_cache = body_cache.fork(stmt.cond, branch_true=True)
             stmt.body = self.stmt(stmt.body, body_cache)
             return stmt
         if isinstance(stmt, ast.DoWhile):
@@ -315,10 +333,21 @@ class _FunctionInstrumenter:
             return stmt
         if isinstance(stmt, ast.Switch):
             stmt.cond = self.expr(stmt.cond, cache)
+            self._after_effects(stmt.cond, cache)
+            fallthrough: CheckCache | None = None
             for case in stmt.cases:
-                case_cache = cache.fork()
+                # Dispatch entry knows scrutinee == case value; an arm that
+                # can also be entered by fallthrough keeps only the facts
+                # (cached checks and constants) both entry paths agree on —
+                # a pre-switch fact the previous arm invalidated must not
+                # survive into an arm that arm falls into.
+                case_cache = cache.fork_switch(stmt.cond, case.value)
+                if fallthrough is not None:
+                    case_cache = case_cache.joined(fallthrough)
                 for index, inner in enumerate(case.stmts):
                     case.stmts[index] = self.stmt(inner, case_cache)
+                fallthrough = (None if _case_terminates(case.stmts)
+                               else case_cache)
             cache.invalidate_all()
             return stmt
         if isinstance(stmt, ast.Return):
@@ -341,11 +370,13 @@ class _FunctionInstrumenter:
             init.expr = self.expr(init.expr, cache)
 
     def _after_effects(self, expr: ast.Expr, cache: CheckCache) -> None:
-        """Invalidate cached checks according to the side effects of ``expr``."""
+        """Invalidate cached checks according to the side effects of ``expr``,
+        then learn the constant bindings its assignments establish."""
         for name in written_names(expr):
             cache.invalidate_name(name)
         if writes_memory(expr):
             cache.invalidate_memory()
+        cache.note_effects(expr)
 
     # -- expressions (rvalue position) -------------------------------------------
 
@@ -373,7 +404,8 @@ class _FunctionInstrumenter:
             expr.base = self.expr(expr.base, cache)
             expr.index = self.expr(expr.index, cache)
             decision = decide_index(self.env, expr.base, expr.index,
-                                    self.options, expr.location)
+                                    self.options, expr.location,
+                                    fold=cache.fold)
             check = self._record(decision, expr.location, cache)
             return self._wrap([check] if check else [], expr)
         if isinstance(expr, ast.Member):
@@ -474,7 +506,8 @@ class _FunctionInstrumenter:
             expr.base = self.expr(expr.base, cache)
             expr.index = self.expr(expr.index, cache)
             decision = decide_index(self.env, expr.base, expr.index,
-                                    self.options, expr.location)
+                                    self.options, expr.location,
+                                    fold=cache.fold)
             check = self._record(decision, expr.location, cache)
             return expr, [check] if check else []
         if isinstance(expr, ast.Member):

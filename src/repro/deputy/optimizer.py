@@ -1,4 +1,4 @@
-"""Redundant run-time check elimination.
+"""Redundant run-time check elimination and region constant facts.
 
 Deputy inserts a run-time check wherever it cannot prove an access safe, but
 straight-line code frequently checks the same pointer expression repeatedly
@@ -7,15 +7,28 @@ have already been emitted in the current straight-line region and drops exact
 duplicates, provided nothing that could invalidate them (a write to one of the
 mentioned variables, or an arbitrary function call) has happened in between.
 
+The same region cache also carries **constant facts** from the
+condition-aware dataflow layer (:mod:`repro.dataflow.consts`): the known
+integer values of the function's callee-immune names, updated at every
+assignment and refined on branch arms (inside ``if (k == 2)`` the then-arm
+knows ``k = 2``).  The static checker consults them through :meth:`fold` —
+an index obligation whose index *and* bound both fold to constants with
+``0 <= k < n`` is discharged statically instead of emitting
+``__deputy_check_index(k, n)``.  Constant tracking stays active when the
+elimination knob is off: it is checker precision, not an optimization, so
+the A1 ablation (Table 1 with the optimizer disabled) measures elision
+alone.
+
 This is deliberately conservative — dropping a check is only sound when the
-checked expression provably still has the checked property — and it is the
-knob behind the A1 ablation benchmark (Table 1 with the optimizer disabled).
+checked expression provably still has the checked property.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..dataflow.consts import condition_facts, eval_const, transfer_expr
+from ..dataflow.solver import INFEASIBLE
 from ..minic import ast_nodes as ast
 from ..minic.pretty import render_expression
 from ..minic.visitor import walk
@@ -38,6 +51,11 @@ class CheckCache:
     #: Keys whose check expression reads memory (a deref, subscript, or
     #: ``->``): their validity depends on the heap, never on names alone.
     _heap_reads: set[str] = field(default_factory=set)
+    #: Known constant values of callee-immune names in this region.  Updated
+    #: regardless of ``enabled`` (constant facts feed the *checker*, not the
+    #: elision pass), and only ever for ``safe_names`` — storage no call or
+    #: pointer store can write, so :meth:`invalidate_memory` leaves it alone.
+    consts: dict[str, int] = field(default_factory=dict)
 
     def key_of(self, check: ast.Expr) -> str:
         return render_expression(check)
@@ -59,6 +77,7 @@ class CheckCache:
 
     def invalidate_name(self, name: str) -> None:
         """A variable was written: drop every cached check that mentions it."""
+        self.consts.pop(name, None)
         if not self.enabled or not self._seen:
             return
         stale = [key for key, names in self._seen.items() if name in names]
@@ -93,13 +112,83 @@ class CheckCache:
     def invalidate_all(self) -> None:
         self._seen.clear()
         self._heap_reads.clear()
+        self.consts.clear()
 
-    def fork(self) -> "CheckCache":
-        """A copy for a branch arm (checks proven before the branch survive)."""
+    def fork(self, cond: ast.Expr | None = None,
+             branch_true: bool = True) -> "CheckCache":
+        """A copy for a branch arm (checks proven before the branch survive).
+
+        With ``cond`` supplied the copy is branch-refined: the arm's cache
+        learns the condition facts its edge establishes (``if (k == 2)``
+        binds ``k = 2`` in the then-arm), mirroring the CFG layer's
+        edge refinement inside the instrumenter's structural walk.
+        """
         clone = CheckCache(enabled=self.enabled, safe_names=self.safe_names)
         clone._seen = {k: set(v) for k, v in self._seen.items()}
         clone._heap_reads = set(self._heap_reads)
+        clone.consts = dict(self.consts)
+        if cond is not None:
+            facts = condition_facts(cond, branch_true, clone.consts,
+                                    self.safe_names or frozenset())
+            if facts is not INFEASIBLE:
+                clone.consts.update(facts)
         return clone
+
+    def joined(self, other: "CheckCache") -> "CheckCache":
+        """The lattice join of two region caches (control-flow merge).
+
+        Only cached checks present in both and constant bindings both agree
+        on survive — facts valid on every incoming path.
+        """
+        clone = CheckCache(enabled=self.enabled, safe_names=self.safe_names)
+        clone._seen = {key: set(names) for key, names in self._seen.items()
+                       if key in other._seen}
+        clone._heap_reads = ((self._heap_reads | other._heap_reads)
+                             & set(clone._seen))
+        clone.consts = {name: value for name, value in self.consts.items()
+                        if other.consts.get(name) == value}
+        return clone
+
+    def fork_switch(self, scrutinee: ast.Expr,
+                    case_value: ast.Expr | None) -> "CheckCache":
+        """A copy for one switch arm, refined with the case's dispatch fact."""
+        if case_value is None:
+            return self.fork()
+        return self.fork(cond=ast.Binary(op="==", left=scrutinee,
+                                         right=case_value),
+                         branch_true=True)
+
+    # -- constant facts ------------------------------------------------------
+
+    def fold(self, expr: ast.Expr) -> int | None:
+        """Fold ``expr`` under this region's constant facts."""
+        return eval_const(expr, self.consts)
+
+    def note_effects(self, expr: ast.Expr) -> None:
+        """Learn/kill constant bindings from the assignments in ``expr``.
+
+        Delegates to the dataflow layer's evaluation-order transfer
+        (:func:`repro.dataflow.consts.transfer_expr`) — one shared
+        semantics for both the CFG solve and this structural walk, including
+        the soundness-critical rule that an assignment under ``&&``/``||``
+        or a ternary arm only *may* execute and therefore joins instead of
+        binding.
+        """
+        self.consts = dict(
+            transfer_expr(self.consts, expr, self.safe_names or frozenset()))
+
+    def bind_decl(self, name: str, init: ast.Expr | None) -> None:
+        """A declaration bound ``name``: learn its folded initializer."""
+        if name in (self.safe_names or frozenset()):
+            self._bind_const(name, None if init is None else self.fold(init))
+        else:
+            self.consts.pop(name, None)
+
+    def _bind_const(self, name: str, value: int | None) -> None:
+        if value is None:
+            self.consts.pop(name, None)
+        else:
+            self.consts[name] = value
 
 
 def _reads_heap(check: ast.Expr) -> bool:

@@ -155,7 +155,8 @@ class BlockStopAnalysis(EngineAnalysis):
                                graph=artifacts.graph,
                                blocking=artifacts.blocking,
                                irq_handlers=artifacts.irq_handlers,
-                               summaries=artifacts.summaries)
+                               summaries=artifacts.summaries,
+                               consts=artifacts.consts)
         findings = [make_finding(self.name, "blocking-in-atomic-context",
                                  violation.caller, violation.location,
                                  violation.describe())
@@ -189,7 +190,8 @@ class ErrcheckAnalysis(EngineAnalysis):
     def run_shard(self, artifacts, functions):
         report = analyse_error_checks(artifacts.program,
                                       error_returning=artifacts.error_returning,
-                                      functions=functions)
+                                      functions=functions,
+                                      consts=artifacts.consts)
         findings = [make_finding(self.name, "unchecked-error-return",
                                  call.caller, call.location,
                                  f"result of {call.callee}() {call.reason}")
@@ -241,7 +243,8 @@ class LockcheckAnalysis(EngineAnalysis):
 
     def run_shard(self, artifacts, functions):
         facts = collect_lock_facts(artifacts.program, functions=functions,
-                                   summaries=artifacts.summaries)
+                                   summaries=artifacts.summaries,
+                                   consts=artifacts.consts)
         return {
             "acquisitions": [self._acq_payload(acq)
                              for acq in facts.acquisitions],

@@ -26,6 +26,7 @@ from ..blockstop.blocking import BlockingInfo, derive_blocking
 from ..blockstop.callgraph import CallGraph, build_direct_callgraph
 from ..blockstop.checker import find_irq_handlers
 from ..blockstop.pointsto import FunctionPointerAnalysis, PointsToResult, Precision
+from ..dataflow.consts import FunctionConsts, solve_program_consts
 from ..dataflow.interproc import Condensation, condense_callgraph, solve_summaries
 from ..dataflow.summaries import FunctionSummary
 from ..deputy.typesystem import TypeEnv
@@ -164,6 +165,10 @@ class SharedArtifacts:
     * ``annotations`` — merged definition+prototype annotations per function;
     * ``graph``/``pointsto`` — the direct call graph with points-to-resolved
       indirect edges for the chosen precision;
+    * ``consts`` — per-function constant-propagation facts with branch-edge
+      refinement (:mod:`repro.dataflow.consts`): condition facts per CFG
+      edge plus the infeasible-edge set every condition-aware solve prunes
+      with; ``None`` entries mark branchless functions;
     * ``condensation`` — the SCC condensation of that graph, in bottom-up
       (reverse-topological) order, with its parallel-scheduling waves;
     * ``summaries`` — one interprocedural :class:`FunctionSummary` per
@@ -181,6 +186,7 @@ class SharedArtifacts:
     precision: Precision
     graph: CallGraph
     pointsto: PointsToResult
+    consts: dict[str, FunctionConsts | None]
     condensation: Condensation
     summaries: dict[str, FunctionSummary]
     blocking: BlockingInfo
@@ -213,13 +219,16 @@ def unit_function_map(program: Program) -> dict[str, list[str]]:
 
 def build_shared_artifacts(program: Program,
                            precision: Precision = Precision.TYPE_BASED,
-                           summary_solver=None) -> SharedArtifacts:
+                           summary_solver=None,
+                           consts_solver=None) -> SharedArtifacts:
     """Derive every shared artifact from an already parsed corpus.
 
-    ``summary_solver(program, graph, condensation)`` may be supplied to
-    compute the function summaries elsewhere — the engine passes a
-    cache-aware, optionally pool-backed solver; the default solves them
-    inline, bottom-up over the SCC condensation.
+    ``summary_solver(program, graph, condensation, consts)`` and
+    ``consts_solver(program)`` may be supplied to compute the function
+    summaries / constant facts elsewhere — the engine passes cache-aware,
+    optionally pool-backed solvers; the defaults solve them inline.  The
+    constant facts are solved *first* and seeded into the summary
+    computation so conditionally-dead effects never reach any summary.
     """
     graph, indirect_calls = build_direct_callgraph(program)
     type_envs: dict[str, TypeEnv] = {}
@@ -227,11 +236,16 @@ def build_shared_artifacts(program: Program,
     pointsto_pass.collect()
     pointsto = pointsto_pass.resolve(graph, indirect_calls, envs=type_envs)
 
+    if consts_solver is not None:
+        consts = consts_solver(program)
+    else:
+        consts = solve_program_consts(program)
+
     condensation = condense_callgraph(graph)
     if summary_solver is not None:
-        summaries = summary_solver(program, graph, condensation)
+        summaries = summary_solver(program, graph, condensation, consts)
     else:
-        summaries = solve_summaries(program, graph, condensation)
+        summaries = solve_summaries(program, graph, condensation, consts=consts)
 
     blocking = derive_blocking(program, graph, summaries)
 
@@ -243,6 +257,7 @@ def build_shared_artifacts(program: Program,
         precision=precision,
         graph=graph,
         pointsto=pointsto,
+        consts=consts,
         condensation=condensation,
         summaries=summaries,
         blocking=blocking,

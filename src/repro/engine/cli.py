@@ -7,6 +7,7 @@ Usage (also installed as the ``repro-engine`` console script)::
         --format json --output report.json
     python -m repro.engine report report.json --format text
     python -m repro.engine callgraph --witnesses
+    python -m repro.engine cfg kernel/watchdog.c --function stats_sample_fast
     python -m repro.engine list
 """
 
@@ -15,9 +16,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from ..blockstop.pointsto import Precision
-from ..kernel.corpus import ALL_FILES, KERNEL_FILES
+from ..dataflow.cfg import build_cfg
+from ..dataflow.consts import FunctionConsts, consts_of
+from ..kernel.build import parse_corpus
+from ..kernel.corpus import ALL_FILES, KERNEL_FILES, CorpusFile
+from ..minic import ast_nodes as ast
+from ..minic.pretty import render_expression
 from .analyses import ANALYSIS_ORDER
 from .artifacts import SharedArtifacts
 from .core import AnalysisEngine, EngineReport
@@ -74,6 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
     callgraph.add_argument("--function", default=None,
                            help="restrict the summary/witness listing to one "
                                 "function")
+
+    cfg = sub.add_parser(
+        "cfg",
+        help="dump a translation unit's control-flow graphs: basic blocks, "
+             "edge labels, per-edge condition facts, and infeasible-edge "
+             "marks from the constant-propagation lattice")
+    cfg.add_argument("file",
+                     help="a corpus translation unit (e.g. kernel/watchdog.c) "
+                          "or a MiniC source file on disk")
+    cfg.add_argument("--function", default=None,
+                     help="restrict the dump to one function")
+    cfg.add_argument("--format", default="text", choices=("text", "json"))
 
     sub.add_parser("list", help="list the registered analyses")
     return parser
@@ -234,6 +253,124 @@ def _cmd_callgraph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cfg_unit(spec: str) -> "tuple[object, list[str]] | None":
+    """Resolve the ``cfg`` subcommand's file argument to (program, names).
+
+    A corpus filename parses the whole corpus (kernel files reference each
+    other's types); an on-disk path parses standalone.
+    """
+    corpus = {f.filename: f for f in ALL_FILES}
+    if spec in corpus:
+        files = KERNEL_FILES if corpus[spec].kernel else ALL_FILES
+        program = AnalysisEngine(files=files).program()
+        names = [decl.name for unit in program.units
+                 if unit.filename == spec
+                 for decl in unit.decls if isinstance(decl, ast.FuncDef)]
+        return program, names
+    path = Path(spec)
+    if not path.is_file():
+        return None
+    program = parse_corpus((CorpusFile(spec, path.read_text()),))
+    return program, list(program.functions)
+
+
+def _cfg_payload(func: ast.FuncDef,
+                 consts: "FunctionConsts | None") -> dict:
+    """One function's CFG + refinement facts, in a render-friendly shape."""
+    cfg = build_cfg(func)
+    in_envs = dict(consts.in_envs) if consts is not None else {}
+    edge_facts = dict(consts.edge_facts) if consts is not None else {}
+    infeasible = consts.infeasible if consts is not None else frozenset()
+    reachable = (consts.reachable if consts is not None
+                 else cfg.reachable())
+    blocks = []
+    for block in cfg.blocks:
+        tags = []
+        if block.index == cfg.entry:
+            tags.append("entry")
+        if block.index == cfg.exit:
+            tags.append("exit")
+        if block.index not in reachable:
+            tags.append("unreachable")
+        blocks.append({
+            "index": block.index,
+            "tags": tags,
+            "consts": dict(in_envs.get(block.index, ())),
+            "elements": [
+                {"kind": element.kind,
+                 "expr": (render_expression(element.expr)
+                          if element.expr is not None else None)}
+                for element in block.elements],
+            "edges": [
+                {"target": edge.target,
+                 "label": edge.label,
+                 "facts": dict(edge_facts.get((block.index, pos), ())),
+                 "infeasible": (block.index, pos) in infeasible}
+                for pos, edge in enumerate(block.succs)],
+        })
+    return {"function": func.name, "entry": cfg.entry, "exit": cfg.exit,
+            "blocks": blocks}
+
+
+def _render_cfg_text(payload: dict) -> list[str]:
+    lines = [f"-- {payload['function']} "
+             f"(entry {payload['entry']}, exit {payload['exit']}) --"]
+    for block in payload["blocks"]:
+        tag = f" [{', '.join(block['tags'])}]" if block["tags"] else ""
+        lines.append(f"block {block['index']}{tag}")
+        if block["consts"]:
+            facts = ", ".join(f"{name}={value}"
+                              for name, value in sorted(block["consts"].items()))
+            lines.append(f"    consts: {facts}")
+        for element in block["elements"]:
+            rendered = element["expr"] if element["expr"] is not None else "(void)"
+            lines.append(f"    {element['kind']}: {rendered}")
+        for edge in block["edges"]:
+            label = f" [{edge['label']}]" if edge["label"] else ""
+            facts = ""
+            if edge["facts"]:
+                facts = " {" + ", ".join(
+                    f"{name}={value}"
+                    for name, value in sorted(edge["facts"].items())) + "}"
+            mark = "  INFEASIBLE" if edge["infeasible"] else ""
+            lines.append(f"    -> {edge['target']}{label}{facts}{mark}")
+    return lines
+
+
+def _cmd_cfg(args: argparse.Namespace) -> int:
+    resolved = _resolve_cfg_unit(args.file)
+    if resolved is None:
+        print(f"error: {args.file!r} is neither a corpus translation unit "
+              "nor a readable file", file=sys.stderr)
+        return 2
+    program, names = resolved
+    if args.function is not None:
+        if args.function not in names:
+            known = ", ".join(names)
+            print(f"error: unknown function {args.function!r} in "
+                  f"{args.file} (known: {known})", file=sys.stderr)
+            return 2
+        names = [args.function]
+
+    payloads = []
+    for name in names:
+        func = program.functions.get(name)
+        if func is None:
+            continue
+        payloads.append(_cfg_payload(func, consts_of(func)))
+
+    if args.format == "json":
+        print(json.dumps({"schema": "repro-engine-cfg/1", "file": args.file,
+                          "functions": payloads}, indent=2, sort_keys=True))
+        return 0
+    lines = [f"== control-flow graphs: {args.file} =="]
+    for payload in payloads:
+        lines.append("")
+        lines.extend(_render_cfg_text(payload))
+    print("\n".join(lines))
+    return 0
+
+
 def _cmd_list() -> int:
     for name in ANALYSIS_ORDER:
         print(name)
@@ -248,6 +385,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "callgraph":
         return _cmd_callgraph(args)
+    if args.command == "cfg":
+        return _cmd_cfg(args)
     return _cmd_list()
 
 

@@ -20,6 +20,7 @@ from typing import Iterable
 
 from ..blockstop.pointsto import Precision
 from ..blockstop.runtime_checks import RuntimeCheckSet
+from ..dataflow.consts import solve_program_consts
 from ..dataflow.interproc import (
     build_context,
     callgraph_fingerprint,
@@ -37,7 +38,12 @@ from .analyses import (
     finding_sort_key,
     make_registry,
 )
-from .artifacts import ArtifactCache, SharedArtifacts, build_shared_artifacts
+from .artifacts import (
+    ArtifactCache,
+    SharedArtifacts,
+    build_shared_artifacts,
+    unit_function_map,
+)
 
 #: Task tuple: (analysis name, shard index, function subset or None).
 _Task = tuple[str, int, "list[str] | None"]
@@ -47,6 +53,9 @@ _WORKER_CONTEXT: "tuple[SharedArtifacts, dict[str, EngineAnalysis]] | None" = No
 
 #: (context, graph) for summary-wave workers, inherited through fork().
 _SUMMARY_CONTEXT = None
+
+#: Program for constant-facts workers, inherited through fork().
+_CONSTS_CONTEXT = None
 
 
 def _run_shard_task(task: _Task) -> tuple[str, int, dict]:
@@ -64,6 +73,12 @@ def _solve_scc_task(task: "tuple[tuple[str, ...], dict]") -> dict:
     ctx, graph = _SUMMARY_CONTEXT
     scc, solved = task
     return solve_scc(scc, ctx, graph, solved)
+
+
+def _solve_consts_task(functions: "list[str]") -> dict:
+    """Solve one translation unit's constant facts in a worker."""
+    assert _CONSTS_CONTEXT is not None, "consts context not initialised"
+    return solve_program_consts(_CONSTS_CONTEXT, functions)
 
 
 @dataclass
@@ -146,6 +161,14 @@ class EngineReport:
                     waves=self.summary_stats.get("waves", 0),
                     cache="hit" if self.summary_stats.get("cache_hit")
                     else "miss"))
+            lines.append(
+                "consts: {functions} functions solved, {pruned} with "
+                "infeasible edges ({edges} edges pruned); cache {cache}".format(
+                    functions=self.summary_stats.get("consts_functions", 0),
+                    pruned=self.summary_stats.get("consts_pruned_functions", 0),
+                    edges=self.summary_stats.get("consts_infeasible_edges", 0),
+                    cache="hit" if self.summary_stats.get("consts_cache_hit")
+                    else "miss"))
         for name in sorted(self.analyses):
             report = self.analyses[name]
             lines.append("")
@@ -182,6 +205,10 @@ class AnalysisEngine:
         #: Whether the last summary solve was served from the cache; None
         #: until a solve is attempted (e.g. artifacts were memory-cached).
         self._summary_cache_hit: bool | None = None
+        #: Same flag for the constant-facts artifact, plus its solve time
+        #: (0.0 on a cache hit; excluded from deterministic report fields).
+        self._consts_cache_hit: bool | None = None
+        self._consts_solve_seconds: float = 0.0
 
     # -- shared artifacts ---------------------------------------------------
 
@@ -236,18 +263,69 @@ class AnalysisEngine:
             key,
             lambda: build_shared_artifacts(
                 self.program(), self.precision,
-                summary_solver=lambda program, graph, condensation:
-                self._solve_summaries(program, graph, condensation, jobs)),
+                summary_solver=lambda program, graph, condensation, consts:
+                self._solve_summaries(program, graph, condensation, jobs,
+                                      consts),
+                consts_solver=lambda program:
+                self._solve_consts(program, jobs)),
             persist=False)
 
-    def _solve_summaries(self, program, graph, condensation, jobs: int):
+    def _solve_consts(self, program, jobs: int):
+        """The cache-aware constant-facts solver injected into the build.
+
+        The artifact depends only on the parsed sources (files + defines +
+        package version), not on points-to precision, so engines at
+        different precisions share one entry.  Functions are independent,
+        so ``--jobs N`` shards the solve by translation unit over the fork
+        pool; the merge re-orders results into program function order,
+        making serial and parallel artifacts byte-identical.
+        """
+        key = self.cache.content_key(
+            "consts", files=self.files, defines=self.defines)
+        self._consts_cache_hit = self.cache.contains(key)
+
+        def build():
+            start = time.perf_counter()
+            value = self._compute_consts(program, jobs)
+            self._consts_solve_seconds = time.perf_counter() - start
+            return value
+
+        return self.cache.get_or_build(key, build)
+
+    def _compute_consts(self, program, jobs: int):
+        global _CONSTS_CONTEXT
+        unit_map = [functions for functions
+                    in unit_function_map(program).values() if functions]
+        use_parallel = (jobs > 1 and len(unit_map) > 1
+                        and "fork" in multiprocessing.get_all_start_methods())
+        if not use_parallel:
+            return solve_program_consts(program)
+        _CONSTS_CONTEXT = program
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=jobs) as pool:
+                shards = pool.map(_solve_consts_task, unit_map)
+        finally:
+            _CONSTS_CONTEXT = None
+        merged: dict = {}
+        for shard in shards:
+            merged.update(shard)
+        # Deterministic ordering: program definition order, as serial does.
+        return {name: merged[name] for name, _ in program.functions_subset(None)
+                if name in merged}
+
+    def _solve_summaries(self, program, graph, condensation, jobs: int,
+                         consts=None):
         """The cache-aware summary solver injected into the artifact build.
 
         The cache key mixes in the call-graph fingerprint — any change to
         the corpus or to the points-to resolution produces a different graph
         hash and invalidates persisted summaries; the summaries themselves
         are small, picklable records, so they round-trip through the
-        on-disk layer (``--cache-dir``) across processes.
+        on-disk layer (``--cache-dir``) across processes.  ``consts`` (the
+        engine's constant-facts artifact) seeds the computation so summaries
+        are taken over the pruned CFGs; the sources determine both artifacts,
+        so the shared files+defines key components keep them in lockstep.
         """
         key = self.cache.content_key(
             "summaries", files=self.files, defines=self.defines,
@@ -256,11 +334,12 @@ class AnalysisEngine:
         self._summary_cache_hit = self.cache.contains(key)
         return self.cache.get_or_build(
             key, lambda: self._compute_summaries(program, graph,
-                                                 condensation, jobs))
+                                                 condensation, jobs, consts))
 
-    def _compute_summaries(self, program, graph, condensation, jobs: int):
+    def _compute_summaries(self, program, graph, condensation, jobs: int,
+                           consts=None):
         global _SUMMARY_CONTEXT
-        ctx = build_context(program, graph)
+        ctx = build_context(program, graph, consts=consts)
         use_parallel = (jobs > 1
                         and "fork" in multiprocessing.get_all_start_methods())
         if not use_parallel:
@@ -291,8 +370,17 @@ class AnalysisEngine:
             _SUMMARY_CONTEXT = None
 
     def summary_stats(self, artifacts: SharedArtifacts) -> dict:
-        """Condensation/summary metrics for the report (and the CI bench)."""
+        """Condensation/summary metrics for the report (and the CI bench).
+
+        The ``consts_*`` entries describe the constant-facts artifact:
+        function coverage, how many functions had at least one infeasible
+        edge, and the total infeasible-edge count — all pure functions of
+        the sources, so serial and parallel reports agree byte-for-byte
+        (the wall-clock solve time lives in ``cache_stats``, which report
+        comparisons already normalize away).
+        """
         condensation = artifacts.condensation
+        solved = [fc for fc in artifacts.consts.values() if fc is not None]
         return {
             "functions": len(artifacts.summaries),
             "sccs": len(condensation.sccs),
@@ -302,6 +390,12 @@ class AnalysisEngine:
             "recursive_functions": len(condensation.recursive_functions()),
             "cache_hit": (True if self._summary_cache_hit is None
                           else self._summary_cache_hit),
+            "consts_functions": len(solved),
+            "consts_pruned_functions": sum(1 for fc in solved if fc.prunes),
+            "consts_infeasible_edges": sum(len(fc.infeasible)
+                                           for fc in solved),
+            "consts_cache_hit": (True if self._consts_cache_hit is None
+                                 else self._consts_cache_hit),
         }
 
     # -- running ------------------------------------------------------------
@@ -378,6 +472,8 @@ class AnalysisEngine:
         report.elapsed_seconds = time.perf_counter() - start
         report.cache_stats = {"hits": self.cache.hits,
                               "misses": self.cache.misses,
-                              "disk_hits": self.cache.disk_hits}
+                              "disk_hits": self.cache.disk_hits,
+                              "const_solve_ms": round(
+                                  self._consts_solve_seconds * 1000, 3)}
         report.summary_stats = self.summary_stats(artifacts)
         return report

@@ -2,6 +2,8 @@
 
 from .blockstop_eval import (
     ALL_SEEDED_CALLERS,
+    CONST_PRUNED_CALLERS,
+    CONST_TWIN_BUG_CALLERS,
     INTERPROC_BUG_CALLERS,
     BlockStopEvalResult,
     PAPER_BLOCKSTOP,
@@ -21,7 +23,8 @@ from .report import FullReport, run_all
 from .table1 import Table1Result, run_table1
 
 __all__ = [
-    "ALL_SEEDED_CALLERS", "BlockStopEvalResult", "INTERPROC_BUG_CALLERS",
+    "ALL_SEEDED_CALLERS", "BlockStopEvalResult", "CONST_PRUNED_CALLERS",
+    "CONST_TWIN_BUG_CALLERS", "INTERPROC_BUG_CALLERS",
     "PAPER_BLOCKSTOP", "SEEDED_BUG_CALLERS",
     "run_blockstop_eval",
     "CCountOverheadResult", "OverheadRow", "PAPER_CCOUNT_OVERHEADS",

@@ -28,8 +28,22 @@ SEEDED_BUG_CALLERS = frozenset({"buggy_stats_update", "disk_timeout_interrupt"})
 #: two-bug headline number stays comparable.
 INTERPROC_BUG_CALLERS = frozenset({"buggy_deferred_flush"})
 
-#: Every caller whose report is a true positive, paper-era or interprocedural.
-ALL_SEEDED_CALLERS = SEEDED_BUG_CALLERS | INTERPROC_BUG_CALLERS
+#: Condition-gated seeds: the ``if (1)`` twin of a constant-gated debug
+#: branch — its blocking call inside the atomic region is live and must
+#: keep reporting after edge pruning.
+CONST_TWIN_BUG_CALLERS = frozenset({"stats_sample_slow"})
+
+#: Constant-false shapes the condition-aware lattice must prune: a blocking
+#: call inside an ``if (0)`` debug arm of an atomic region, and an
+#: ``if (0)``-guarded lock acquire whose leak previously reported.  Any
+#: blockstop report from these callers is a pruned-FP regression.
+CONST_PRUNED_CALLERS = frozenset({"stats_sample_fast", "audit_try_slot_debug",
+                                  "audit_probe_debug"})
+
+#: Every caller whose report is a true positive, paper-era, interprocedural,
+#: or condition-gated.
+ALL_SEEDED_CALLERS = (SEEDED_BUG_CALLERS | INTERPROC_BUG_CALLERS
+                      | CONST_TWIN_BUG_CALLERS)
 
 
 @dataclass
@@ -56,11 +70,24 @@ class BlockStopEvalResult:
     def interproc_bugs_found(self) -> int:
         return len(self.real_bug_callers & INTERPROC_BUG_CALLERS)
 
+    @property
+    def const_twin_bugs_found(self) -> int:
+        """``if (1)`` twins of pruned shapes that (correctly) still report."""
+        return len(self.real_bug_callers & CONST_TWIN_BUG_CALLERS)
+
+    @property
+    def pruned_fp_reports(self) -> int:
+        """Reports from constant-false shapes — must be zero after pruning."""
+        return sum(1 for v in self.before.reported
+                   if v.caller in CONST_PRUNED_CALLERS)
+
     def shape_holds(self) -> bool:
         """The §2.3 claims:
 
         * both seeded bugs are found (plus the interprocedural seeds the
-          summary framework adds);
+          summary framework adds, and the live ``if (1)`` twins of the
+          condition-gated shapes);
+        * the constant-false shapes are pruned — zero reports from them;
         * the conservative points-to analysis also produces false positives;
         * the manual run-time checks silence every false positive while the
           real bugs are still reported;
@@ -68,14 +95,16 @@ class BlockStopEvalResult:
           positives without the manual checks.
         """
         bugs_found = (self.real_bugs_found == 2
-                      and self.interproc_bugs_found == len(INTERPROC_BUG_CALLERS))
+                      and self.interproc_bugs_found == len(INTERPROC_BUG_CALLERS)
+                      and self.const_twin_bugs_found == len(CONST_TWIN_BUG_CALLERS))
+        pruned = self.pruned_fp_reports == 0
         has_false_positives = len(self.false_positive_callees) > 0
         silenced = (self.after.violations_reported > 0
                     and {v.caller for v in self.after.reported} <= ALL_SEEDED_CALLERS
                     and self.after.violations_silenced > 0)
         improved = (self.field_sensitive.violations_reported
                     <= self.before.violations_reported)
-        return bugs_found and has_false_positives and silenced and improved
+        return bugs_found and pruned and has_false_positives and silenced and improved
 
 
 def run_blockstop_eval(engine: "AnalysisEngine | None" = None) -> BlockStopEvalResult:
@@ -105,7 +134,8 @@ def run_blockstop_eval(engine: "AnalysisEngine | None" = None) -> BlockStopEvalR
 
     before_result = run_blockstop(program, Precision.TYPE_BASED,
                                   graph=shared.graph, blocking=shared.blocking,
-                                  irq_handlers=shared.irq_handlers)
+                                  irq_handlers=shared.irq_handlers,
+                                  consts=shared.consts)
     before = build_report(before_result)
 
     real_bug_callers = {v.caller for v in before_result.reported
@@ -120,7 +150,8 @@ def run_blockstop_eval(engine: "AnalysisEngine | None" = None) -> BlockStopEvalR
     after_result = run_blockstop(program, Precision.TYPE_BASED,
                                  runtime_checks=checks,
                                  graph=shared.graph, blocking=shared.blocking,
-                                 irq_handlers=shared.irq_handlers)
+                                 irq_handlers=shared.irq_handlers,
+                                 consts=shared.consts)
     after = build_report(after_result)
 
     field_engine = AnalysisEngine(files=engine.files, defines=engine.defines,
@@ -130,7 +161,8 @@ def run_blockstop_eval(engine: "AnalysisEngine | None" = None) -> BlockStopEvalR
     field_result = run_blockstop(program, Precision.FIELD_SENSITIVE,
                                  graph=field_shared.graph,
                                  blocking=field_shared.blocking,
-                                 irq_handlers=field_shared.irq_handlers)
+                                 irq_handlers=field_shared.irq_handlers,
+                                 consts=field_shared.consts)
     field_report = build_report(field_result)
 
     return BlockStopEvalResult(

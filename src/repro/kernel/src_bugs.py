@@ -19,7 +19,14 @@ that structure:
   *non-blocking* callbacks that share a function signature.  The notifier
   chain is walked with interrupts disabled; a signature-based analysis cannot
   tell the two tables apart, so every blocking helper is falsely implicated
-  and needs a manual run-time assertion to silence the report.
+  and needs a manual run-time assertion to silence the report;
+* two *condition-gated* shapes only the constant-propagation lattice can
+  prune — a lock acquire (and leaking early return) inside an
+  ``if (DEBUG_AUDIT)`` arm with ``#define DEBUG_AUDIT 0``, and a blocking
+  call inside a constant-false debug branch of an atomic region.  Both were
+  classic false positives of condition-blind dataflow; each has an
+  ``if (TRACE_AUDIT)`` twin (``#define TRACE_AUDIT 1``) that must keep
+  reporting, so the pruning is scored in both directions.
 """
 
 FILENAME = "kernel/watchdog.c"
@@ -27,6 +34,8 @@ FILENAME = "kernel/watchdog.c"
 SOURCE = r"""
 #define WORK_HANDLERS 14
 #define NOTIFIER_SLOTS 4
+#define DEBUG_AUDIT 0
+#define TRACE_AUDIT 1
 
 typedef int (*work_fn_t)(void *data, int value);
 
@@ -138,6 +147,80 @@ void buggy_deferred_flush(int code)
        visible in this function. */
     audit_log_event(code);
     stats_thaw();
+}
+
+/* ------------------------------------------------------------------ */
+/* Condition-gated shapes: dead-branch false positives and live twins   */
+/* ------------------------------------------------------------------ */
+
+/* Previously a false positive: the acquire and the leaking early return
+   sit under a #define'd constant-false flag, so no feasible path ever
+   takes or leaks the lock.  Condition-blind dataflow joined the dead arm
+   and reported a returns-with-lock-held leak here (and, through the
+   summary, in every caller). */
+int audit_try_slot_debug(int count)
+{
+    if (DEBUG_AUDIT) {
+        spin_lock(&audit_slot_lock);
+        if (count > 8) {
+            return -EINVAL;
+        }
+        spin_unlock(&audit_slot_lock);
+    }
+    return 0;
+}
+
+/* The if (1) twin: identical shape, live flag -- the leak is real and
+   must keep reporting, in this function and in its caller's summary. */
+int audit_try_slot_trace(int count)
+{
+    if (TRACE_AUDIT) {
+        spin_lock(&audit_slot_lock);
+        if (count > 8) {
+            return -EINVAL;
+        }
+        spin_unlock(&audit_slot_lock);
+    }
+    return 0;
+}
+
+/* Callers: the debug one must inherit nothing; the trace one inherits
+   the may-return-held leak through audit_try_slot_trace's summary. */
+int audit_probe_debug(int count)
+{
+    return audit_try_slot_debug(count);
+}
+
+int audit_probe_trace(int count)
+{
+    return audit_try_slot_trace(count);
+}
+
+/* Previously a false positive: a blocking call inside a constant-false
+   debug branch of an atomic region.  The branch never runs, so there is
+   no blocking-in-atomic-context bug to report. */
+void stats_sample_fast(void)
+{
+    unsigned long flags;
+    flags = spin_lock_irqsave(&stats_lock);
+    if (DEBUG_AUDIT) {
+        audit_log_event(1);
+    }
+    audit_events = audit_events + 1;
+    spin_unlock_irqrestore(&stats_lock, flags);
+}
+
+/* The if (1) twin: the debug branch is live, so the blocking call under
+   the irq-saving lock is a real bug and must keep reporting. */
+void stats_sample_slow(void)
+{
+    unsigned long flags;
+    flags = spin_lock_irqsave(&stats_lock);
+    if (TRACE_AUDIT) {
+        audit_log_event(2);
+    }
+    audit_events = audit_events + 1;
+    spin_unlock_irqrestore(&stats_lock, flags);
 }
 
 /* ------------------------------------------------------------------ */

@@ -389,7 +389,11 @@ class TestKernelCorpusInterproc:
 
     def test_seeded_lock_leak_invisible_intraprocedurally(self, artifacts):
         facts = collect_lock_facts(artifacts.program)    # no summaries
-        assert {leak.function for leak in facts.leaks} == {"audit_reserve_slot"}
+        # audit_try_slot_trace is the live if (1) twin of the pruned
+        # condition-gated leak: it leaks within one function, while its
+        # caller's leak (audit_probe_trace) needs the summaries.
+        assert {leak.function for leak in facts.leaks} == {
+            "audit_reserve_slot", "audit_try_slot_trace"}
 
     def test_seeded_irq_delta_bug_found(self, artifacts):
         result = run_blockstop(artifacts.program,
@@ -411,8 +415,13 @@ class TestKernelCorpusInterproc:
     def test_corpus_has_no_spurious_leaks(self, artifacts):
         facts = collect_lock_facts(artifacts.program,
                                    summaries=artifacts.summaries)
+        # The four leaks are all seeded: the PR 3 interprocedural pair and
+        # the PR 4 condition-gated live twin plus its caller.  The if (0)
+        # variants (audit_try_slot_debug / audit_probe_debug) must *not*
+        # appear — their acquire sits on an infeasible edge.
         assert {leak.function for leak in facts.leaks} == {
-            "audit_reserve_slot", "buggy_audit_reserve"}
+            "audit_reserve_slot", "buggy_audit_reserve",
+            "audit_try_slot_trace", "audit_probe_trace"}
         assert not facts.interproc_acquires
 
     def test_blocking_matches_summary_bits(self, artifacts):

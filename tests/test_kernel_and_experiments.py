@@ -165,12 +165,19 @@ class TestHarnessShapes:
         assert result.boot_report.total_frees > 0
 
     def test_blockstop_shape(self):
-        from repro.harness import INTERPROC_BUG_CALLERS, run_blockstop_eval
+        from repro.harness import (
+            CONST_TWIN_BUG_CALLERS,
+            INTERPROC_BUG_CALLERS,
+            run_blockstop_eval,
+        )
         result = run_blockstop_eval()
         assert result.real_bugs_found == 2
         assert result.interproc_bugs_found == len(INTERPROC_BUG_CALLERS)
+        assert result.const_twin_bugs_found == len(CONST_TWIN_BUG_CALLERS)
+        assert result.pruned_fp_reports == 0
         assert len(result.false_positive_callees) >= 10
-        assert result.after.violations_reported == 2 + len(INTERPROC_BUG_CALLERS)
+        assert result.after.violations_reported == (
+            2 + len(INTERPROC_BUG_CALLERS) + len(CONST_TWIN_BUG_CALLERS))
         assert result.shape_holds()
 
     def test_ccount_overhead_shape(self):
