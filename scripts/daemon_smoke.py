@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI smoke test for `repro-engine serve`.
+
+Exports the embedded corpus to a temp directory, starts the service as a
+real subprocess, and checks the full loop:
+
+1. `/health` turns 200 within the startup budget;
+2. `/findings` matches `repro-engine run` byte-for-byte;
+3. an on-disk edit is picked up by the watcher and re-analyzed
+   *incrementally* (no full re-parse, SCCs reused).
+
+Exit status 0 on success; any failure prints the reason and exits 1.
+Run from a source checkout: `python scripts/daemon_smoke.py`.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+STARTUP_BUDGET_SECONDS = 120
+EDIT_BUDGET_SECONDS = 60
+
+
+def fail(message: str) -> None:
+    print(f"daemon-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(port: int, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=10) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def wait_for(predicate, budget: float, what: str):
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result is not None:
+            return result
+        time.sleep(0.25)
+    fail(f"timed out after {budget}s waiting for {what}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-daemon-smoke-") as tmp:
+        corpus = Path(tmp) / "corpus"
+        run = subprocess.run(
+            [sys.executable, "-m", "repro.engine", "export-corpus",
+             str(corpus)], check=True, capture_output=True, text=True)
+        print(run.stdout.strip())
+
+        batch = subprocess.run(
+            [sys.executable, "-m", "repro.engine", "run", "--analyses", "all",
+             "--corpus-dir", str(corpus), "--format", "json"],
+            check=True, capture_output=True, text=True)
+        batch_report = json.loads(batch.stdout)
+        batch_findings = sorted(
+            (finding
+             for analysis in batch_report["analyses"].values()
+             for finding in analysis["findings"]),
+            key=lambda f: json.dumps(f, sort_keys=True))
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.engine", "serve",
+             "--corpus-dir", str(corpus), "--port", "0",
+             "--poll-seconds", "0.2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            banner = proc.stdout.readline().strip()
+            print(banner)
+            if "http://" not in banner:
+                fail(f"unexpected serve banner: {banner!r}")
+            address = banner.split("http://")[1].split(",")[0].strip()
+            port = int(address.rsplit(":", 1)[1])
+
+            def healthy():
+                if proc.poll() is not None:
+                    fail(f"serve exited early: {proc.stdout.read()}")
+                status, payload = get(port, "/health")
+                return payload if status == 200 else None
+
+            health = wait_for(healthy, STARTUP_BUDGET_SECONDS,
+                              "/health to report ready")
+            print(f"health: revision={health['revision']}")
+
+            status, served = get(port, "/findings")
+            if status != 200:
+                fail(f"/findings returned {status}")
+            served_findings = sorted(
+                served["findings"],
+                key=lambda f: json.dumps(f, sort_keys=True))
+            if served_findings != batch_findings:
+                fail("served findings differ from `repro-engine run`")
+            print(f"findings: {served['count']} (matches batch run)")
+
+            # Edit one file on disk; the watcher must pick it up and the
+            # follow-up pass must be incremental.
+            target = sorted(corpus.rglob("*.c"))[-1]
+            target.write_text(target.read_text()
+                              + "\nint __daemon_smoke(void) { return 0; }\n")
+
+            def reanalyzed():
+                status, payload = get(port, "/stats")
+                if status != 200 or payload.get("revision", 1) < 2:
+                    return None
+                return payload
+
+            stats = wait_for(reanalyzed, EDIT_BUDGET_SECONDS,
+                             "the watcher to trigger a second pass")
+            last = stats["last_pass"]
+            print("edit pass: "
+                  f"full_reparse={last['full_reparse']} "
+                  f"parsed_units={last['parsed_units']} "
+                  f"dirty_sccs={last['dirty_sccs']} "
+                  f"sccs_reused={last['sccs_reused']}")
+            if last["full_reparse"]:
+                fail("edit pass fell back to a full re-parse")
+            if last["sccs_reused"] == 0:
+                fail("edit pass reused no SCC summaries")
+            print("daemon-smoke: OK")
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    main()

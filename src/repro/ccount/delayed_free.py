@@ -20,12 +20,16 @@ two conveniences:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.visitor import walk
 from .runtime import CCountRuntime
+
+#: Free routines whose callers the null-out census looks inside.
+FREE_ROUTINES = ("kfree", "kmem_cache_free", "__raw_free",
+                 "free_skb", "put_task")
 
 
 @contextmanager
@@ -38,26 +42,59 @@ def delayed_free_scope(runtime: CCountRuntime) -> Iterator[None]:
         runtime.delay_end()
 
 
+def _count_calls_named(nodes: Iterable[ast.Node], name: str) -> int:
+    count = 0
+    for root in nodes:
+        for node in walk(root):
+            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
+                    and node.func.name == name):
+                count += 1
+    return count
+
+
+def count_delayed_scopes_in(nodes: Iterable[ast.Node]) -> int:
+    """Delayed-free scopes within the given AST roots (units or decls)."""
+    return _count_calls_named(nodes, "__ccount_delay_begin")
+
+
 def count_delayed_scopes(program: Program) -> int:
     """How many delayed-free scopes the converted source contains."""
-    begins = 0
-    for unit in program.units:
-        for node in walk(unit):
-            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
-                    and node.func.name == "__ccount_delay_begin"):
-                begins += 1
-    return begins
+    return count_delayed_scopes_in(program.units)
+
+
+def count_rtti_sites_in(nodes: Iterable[ast.Node]) -> int:
+    """Explicit RTTI sites within the given AST roots (units or decls)."""
+    return _count_calls_named(nodes, "__ccount_rtti")
 
 
 def count_rtti_sites(program: Program) -> int:
     """How many explicit run-time type information sites the source contains."""
-    sites = 0
-    for unit in program.units:
-        for node in walk(unit):
+    return count_rtti_sites_in(program.units)
+
+
+def count_pointer_nullouts_in(functions: Iterable[ast.FuncDef]) -> int:
+    """The null-out census over an explicit set of function definitions.
+
+    Functions are independent — a function counts only if it itself calls a
+    free routine — so the engine's per-unit shards sum to the whole-program
+    census by construction.
+    """
+    nullouts = 0
+    for func in functions:
+        calls_free = False
+        for node in walk(func):
             if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
-                    and node.func.name == "__ccount_rtti"):
-                sites += 1
-    return sites
+                    and node.func.name in FREE_ROUTINES):
+                calls_free = True
+                break
+        if not calls_free:
+            continue
+        for node in walk(func):
+            if (isinstance(node, ast.Assign) and node.op == "="
+                    and isinstance(node.value, ast.IntLit) and node.value.value == 0
+                    and not isinstance(node.target, ast.Ident)):
+                nullouts += 1
+    return nullouts
 
 
 def count_pointer_nullouts(program: Program) -> int:
@@ -69,24 +106,8 @@ def count_pointer_nullouts(program: Program) -> int:
     the integer literal 0 to pointer-typed lvalues inside functions that also
     call a free routine.
     """
-    free_callers: set[str] = set()
-    for name, func in _functions(program):
-        for node in walk(func):
-            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
-                    and node.func.name in ("kfree", "kmem_cache_free", "__raw_free",
-                                           "free_skb", "put_task")):
-                free_callers.add(name)
-                break
-    nullouts = 0
-    for name, func in _functions(program):
-        if name not in free_callers:
-            continue
-        for node in walk(func):
-            if (isinstance(node, ast.Assign) and node.op == "="
-                    and isinstance(node.value, ast.IntLit) and node.value.value == 0
-                    and not isinstance(node.target, ast.Ident)):
-                nullouts += 1
-    return nullouts
+    return count_pointer_nullouts_in(
+        func for _, func in _functions(program))
 
 
 def _functions(program: Program):

@@ -64,6 +64,11 @@ class CCountInstrumenter:
                     self._do_function(decl)
         return self.result
 
+    def instrument_function(self, func: ast.FuncDef) -> None:
+        """Instrument one function in place (it need not be in ``program``;
+        the engine's per-unit shards pass private clones)."""
+        self._do_function(func)
+
     def _do_function(self, func: ast.FuncDef) -> None:
         env = TypeEnv(self.program, func)
         rewriter = _PointerWriteRewriter(self, env)

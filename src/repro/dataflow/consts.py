@@ -47,6 +47,7 @@ condition containing an assignment or ``++``/``--`` contributes no facts
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional
 
@@ -513,8 +514,20 @@ class FunctionConsts:
         return bool(self.infeasible)
 
 
+#: How many times each function's constant facts have been solved in this
+#: process (per-process, like ``PARSE_COUNTS``); the incremental analyzer's
+#: invalidation tests assert re-solves stay confined to edited functions.
+CONST_SOLVE_COUNTS: Counter[str] = Counter()
+
+
+def reset_const_solve_counts() -> None:
+    """Reset the per-function constant-solve counter (used by tests)."""
+    CONST_SOLVE_COUNTS.clear()
+
+
 def solve_function_consts(func: ast.FuncDef, cfg: Optional[CFG] = None) -> FunctionConsts:
     """Solve the constant lattice (with edge refinement) for one function."""
+    CONST_SOLVE_COUNTS[func.name] += 1
     cfg = cfg or build_cfg(func)
     safe = trackable_names(func)
 

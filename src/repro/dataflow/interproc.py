@@ -24,6 +24,7 @@ fixpoint instead of many global ones.
 from __future__ import annotations
 
 import hashlib
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
@@ -41,6 +42,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a package cycle
 
 #: Iteration cap per SCC before declaring the summary lattice divergent.
 MAX_SCC_ITERATIONS = 64
+
+#: How many times each SCC (keyed by its sorted member tuple) has been
+#: solved in this process.  The incremental analyzer's invalidation tests
+#: assert against this, the same way the engine's parse-once guarantee is
+#: asserted against ``PARSE_COUNTS``.  Like that counter it is per-process:
+#: pool workers bump their own copies, not the parent's.
+SCC_SOLVE_COUNTS: Counter[tuple[str, ...]] = Counter()
+
+
+def reset_scc_solve_counts() -> None:
+    """Reset the per-SCC solve counter (used by tests)."""
+    SCC_SOLVE_COUNTS.clear()
 
 
 class SummaryDivergence(RuntimeError):
@@ -184,6 +197,49 @@ def callgraph_fingerprint(graph: "CallGraph") -> str:
     return digest.hexdigest()[:32]
 
 
+def scc_fingerprints(
+    condensation: Condensation,
+    graph: "CallGraph",
+    body_hashes: dict[str, str],
+    globals_fp: str = "",
+) -> list[str]:
+    """One Merkle-style cache key per SCC, in condensation order.
+
+    ``key(scc) = H(globals_fp, members with body hash and out-edges,
+    callee-SCC keys)`` — because the condensation is reverse-topological,
+    each key transitively covers every function body, annotation and call
+    edge the component's fixpoint can observe:
+
+    * a member's *body* (its direct calls included) via ``body_hashes``;
+    * its full resolved out-edge list, so a points-to change that adds or
+      drops an edge — even one landing back inside the same component —
+      changes the key;
+    * everything reachable below, via the callee components' keys;
+    * prototypes, annotations, defines and analysis parameters via
+      ``globals_fp`` (the caller folds those in).
+
+    Functions without a definition hash as ``undef:<name>``; their
+    observable behavior is annotation-only, which ``globals_fp`` covers.
+    """
+    keys: list[str] = []
+    for index, scc in enumerate(condensation.sccs):
+        digest = hashlib.sha256()
+        digest.update(globals_fp.encode())
+        for name in scc:
+            digest.update(b"|")
+            digest.update(name.encode())
+            digest.update(b"=")
+            digest.update(body_hashes.get(name, f"undef:{name}").encode())
+            for callee in sorted(graph.edges.get(name, ())):
+                digest.update(b",")
+                digest.update(callee.encode())
+        for dep in condensation.scc_callees.get(index, ()):
+            digest.update(b"^")
+            digest.update(keys[dep].encode())
+        keys.append(digest.hexdigest()[:32])
+    return keys
+
+
 # ---------------------------------------------------------------------------
 # The bottom-up solver
 # ---------------------------------------------------------------------------
@@ -203,6 +259,7 @@ def solve_scc(
     construction; recursive components ascend the (finite, capped) lattice
     until two consecutive rounds agree.
     """
+    SCC_SOLVE_COUNTS[tuple(scc)] += 1
     current: dict[str, FunctionSummary] = {name: BOTTOM_SUMMARY for name in scc}
 
     def lookup(callee: str) -> FunctionSummary | None:

@@ -20,6 +20,8 @@ and serialized to JSON without caring which checker produced them.
 
 from __future__ import annotations
 
+import copy
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -34,12 +36,14 @@ from ..analyses.stackcheck import analyse_stack
 from ..blockstop.checker import run_blockstop
 from ..blockstop.runtime_checks import RuntimeCheckSet
 from ..ccount.delayed_free import (
-    count_delayed_scopes,
-    count_pointer_nullouts,
-    count_rtti_sites,
+    count_delayed_scopes_in,
+    count_pointer_nullouts_in,
+    count_rtti_sites_in,
 )
-from ..ccount.instrument import instrument_copy as ccount_instrument_copy
+from ..ccount.instrument import CCountInstrumenter
+from ..ccount.typeinfo import build_typeinfo
 from ..deputy.checker import DeputyOptions, ObligationStatus, check_program
+from ..minic import ast_nodes as minic_ast
 from ..minic.errors import SourceLocation
 from .artifacts import SharedArtifacts
 
@@ -83,6 +87,11 @@ class EngineAnalysis:
     name = "base"
     #: Whether run_shard can be restricted to a translation unit's functions.
     per_unit = False
+    #: Whether a shard's result can depend on *callees* of its functions
+    #: (through summaries, blocking facts, error-return sets...).  The
+    #: incremental service folds callee SCC keys into the shard cache key
+    #: only when this is set; intraprocedural analyses skip that.
+    interprocedural = True
 
     def run_shard(self, artifacts: SharedArtifacts,
                   functions: list[str] | None) -> dict:
@@ -91,6 +100,16 @@ class EngineAnalysis:
     def merge(self, artifacts: SharedArtifacts,
               payloads: list[dict]) -> AnalysisReport:
         raise NotImplementedError
+
+    def shard_salt(self, artifacts: SharedArtifacts) -> str:
+        """Extra content folded into this analysis's incremental shard keys.
+
+        Override when ``run_shard`` consumes a *global* artifact that body
+        hashes and callee SCC keys don't cover (e.g. errcheck's
+        error-returning set).  The empty default means the standard key
+        components fully determine the shard payload.
+        """
+        return ""
 
 
 class DeputyAnalysis(EngineAnalysis):
@@ -186,6 +205,13 @@ class ErrcheckAnalysis(EngineAnalysis):
 
     name = "errcheck"
     per_unit = True
+
+    def shard_salt(self, artifacts):
+        # The whole error-returning set reaches every shard; callee SCC keys
+        # already cover the members a unit actually calls, but keying on the
+        # full set keeps the cache sound against any use of the rest.
+        joined = ",".join(sorted(artifacts.error_returning))
+        return hashlib.sha256(joined.encode()).hexdigest()[:32]
 
     def run_shard(self, artifacts, functions):
         report = analyse_error_checks(artifacts.program,
@@ -369,38 +395,147 @@ class StackcheckAnalysis(EngineAnalysis):
 class CCountAnalysis(EngineAnalysis):
     """CCount instrumentation planning (counts only; shared AST untouched).
 
-    The rewriter mutates trees in place, so planning runs on a deep copy of
-    the shared program — still O(parse-once), since nothing is re-parsed.
+    The rewriter mutates trees in place, so planning deep-copies each shard's
+    function definitions and instruments the clones — still O(parse-once),
+    since nothing is re-parsed, and now shardable per translation unit: every
+    census counter is a per-function sum (a function's null-outs depend only
+    on its own body), and the type-layout registry is a pure function of the
+    shared program, computed once at merge.
     """
 
     name = "ccount"
-    per_unit = False
+    per_unit = True
+    #: Purely intraprocedural — an edit to a callee never changes this
+    #: analysis's result for the caller's unit, so the incremental service
+    #: keys its shards on body hashes alone, without callee SCC keys.
+    interprocedural = False
 
     def run_shard(self, artifacts, functions):
-        result = ccount_instrument_copy(artifacts.program)
-        # The census counters run on the *instrumented* clone, matching the
+        program = artifacts.program
+        if functions is None:
+            units = list(program.units)
+        else:
+            units = [unit for unit in program.units
+                     if artifacts.unit_functions.get(unit.filename) == functions]
+        instrumenter = CCountInstrumenter(program,
+                                          typeinfo=build_typeinfo(program))
+        # The census counters run on the *instrumented* clones, matching the
         # established harness census (build_conversion_report): the rewriter
         # turns plain null-out assignments into __ccount_ptr_write calls, so
         # counting before instrumentation would report different numbers for
         # the same metric names.
-        instrumented = result.program
+        clones: list[minic_ast.FuncDef] = []
+        top_level: list[minic_ast.Node] = []
+        for unit in units:
+            for decl in unit.decls:
+                if isinstance(decl, minic_ast.FuncDef):
+                    clone = copy.deepcopy(decl)
+                    instrumenter.instrument_function(clone)
+                    clones.append(clone)
+                else:
+                    top_level.append(decl)
+        result = instrumenter.result
         return {
             "findings": [],
             "metrics": {
                 "pointer_writes_instrumented": result.pointer_writes_instrumented,
                 "pointer_writes_skipped_local": result.pointer_writes_skipped_local,
                 "bulk_calls_converted": result.bulk_calls_converted,
-                "type_layouts": len(result.typeinfo.layouts),
-                "rtti_sites": count_rtti_sites(instrumented),
-                "pointer_nullouts": count_pointer_nullouts(instrumented),
-                "delayed_free_scopes": count_delayed_scopes(instrumented),
+                "rtti_sites": (count_rtti_sites_in(clones)
+                               + count_rtti_sites_in(top_level)),
+                "pointer_nullouts": count_pointer_nullouts_in(clones),
+                "delayed_free_scopes": (count_delayed_scopes_in(clones)
+                                        + count_delayed_scopes_in(top_level)),
             },
         }
 
     def merge(self, artifacts, payloads):
-        payload = payloads[0]
-        return AnalysisReport(name=self.name, findings=payload["findings"],
-                              metrics=payload["metrics"])
+        program = artifacts.program
+        totals = {
+            "pointer_writes_instrumented": 0,
+            "pointer_writes_skipped_local": 0,
+            "bulk_calls_converted": 0,
+            "rtti_sites": 0,
+            "pointer_nullouts": 0,
+            "delayed_free_scopes": 0,
+        }
+        for payload in payloads:
+            for key in totals:
+                totals[key] += payload["metrics"][key]
+        # Units defining no functions never get a shard; their top-level
+        # code still belongs in the census.
+        leftovers = [unit for unit in program.units
+                     if not artifacts.unit_functions.get(unit.filename)]
+        if leftovers:
+            totals["rtti_sites"] += count_rtti_sites_in(leftovers)
+            totals["delayed_free_scopes"] += count_delayed_scopes_in(leftovers)
+        metrics = {
+            "pointer_writes_instrumented": totals["pointer_writes_instrumented"],
+            "pointer_writes_skipped_local": totals["pointer_writes_skipped_local"],
+            "bulk_calls_converted": totals["bulk_calls_converted"],
+            "type_layouts": len(build_typeinfo(program).layouts),
+            "rtti_sites": totals["rtti_sites"],
+            "pointer_nullouts": totals["pointer_nullouts"],
+            "delayed_free_scopes": totals["delayed_free_scopes"],
+        }
+        return AnalysisReport(name=self.name, findings=[], metrics=metrics)
+
+
+def diagnostics_report(diagnostics) -> AnalysisReport:
+    """Frontend errors as a pseudo-analysis (tolerant mode; never empty).
+
+    ``diagnostics`` is a sequence of :class:`repro.kernel.build.ParseDiagnostic`
+    records; the engine and the analysis service attach this report only when
+    at least one translation unit failed to parse, so healthy runs are
+    byte-identical with strict mode.
+    """
+    report = AnalysisReport(name="diagnostics")
+    for diag in diagnostics:
+        report.findings.append(make_finding(
+            "diagnostics", diag.kind, "", diag.location,
+            f"{diag.filename} skipped: {diag.message}"))
+    report.findings.sort(key=finding_sort_key)
+    report.metrics = {
+        "parse_errors": len(report.findings),
+        "skipped_files": sorted({diag.filename for diag in diagnostics}),
+    }
+    return report
+
+
+def blocking_witness(artifacts: SharedArtifacts, name: str) -> list[str]:
+    """A shortest call chain from ``name`` to a blocking primitive.
+
+    This is the paper's "why might this block" explanation: the path ends
+    at an annotated ``blocking`` seed, or at a ``blocking_if_wait``
+    allocator when the function only blocks through a GFP_WAIT allocation.
+    """
+    blocking = artifacts.blocking
+    path = artifacts.graph.shortest_path(name, set(blocking.seeds))
+    if not path:
+        path = artifacts.graph.shortest_path(name, set(blocking.conditional_seeds))
+    return path or [name]
+
+
+def summary_payload(artifacts: SharedArtifacts, name: str) -> dict:
+    """One function's summary in JSON shape (CLI callgraph + service API)."""
+    summary = artifacts.summaries.get(name)
+    if summary is None:
+        return {}
+    payload = {
+        "defined": summary.defined,
+        "may_block": summary.may_block,
+        "irq_delta": summary.irq_delta,
+        "locks_held": [list(pair) for pair in summary.locks_held],
+        "locks_released": [list(pair) for pair in summary.locks_released],
+        "may_return_held": list(summary.may_return_held),
+        "acquires": list(summary.acquires),
+        "error_returns": list(summary.error_returns),
+        "frame_size": summary.frame_size,
+        "stack_depth": summary.stack_depth,
+    }
+    if summary.may_block:
+        payload["witness"] = blocking_witness(artifacts, name)
+    return payload
 
 
 #: Construction order doubles as the default run order.

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,14 +45,20 @@ class ArtifactCache:
     to a source file invalidates everything derived from it.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(self, cache_dir: str | Path | None = None,
+                 max_mb: float | None = None) -> None:
         self._memory: dict[str, Any] = {}
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: On-disk budget in bytes; ``None`` disables eviction.  A daemon
+        #: run accumulates one pickle per content key forever otherwise.
+        self.max_bytes = (int(max_mb * 1024 * 1024)
+                          if max_mb is not None else None)
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.evictions = 0
 
     # -- keys ---------------------------------------------------------------
 
@@ -132,10 +139,16 @@ class ArtifactCache:
             return None
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except Exception:
             # A stale or truncated entry is treated as a miss.
             return None
+        try:
+            # Touch on read: mtime doubles as the LRU clock for eviction.
+            os.utime(path)
+        except OSError:
+            pass
+        return value
 
     def _store_disk(self, key: str, value: Any) -> None:
         path = self._disk_path(key)
@@ -152,6 +165,31 @@ class ArtifactCache:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+            return
+        self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        """Drop least-recently-used pickles until the dir fits the budget."""
+        if self.max_bytes is None or self.cache_dir is None:
+            return
+        entries = []
+        for path in self.cache_dir.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
 
 
 @dataclass

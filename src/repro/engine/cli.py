@@ -8,6 +8,8 @@ Usage (also installed as the ``repro-engine`` console script)::
     python -m repro.engine report report.json --format text
     python -m repro.engine callgraph --witnesses
     python -m repro.engine cfg kernel/watchdog.c --function stats_sample_fast
+    python -m repro.engine export-corpus ./corpus
+    python -m repro.engine serve --corpus-dir ./corpus --port 8571
     python -m repro.engine list
 """
 
@@ -25,8 +27,7 @@ from ..kernel.build import parse_corpus
 from ..kernel.corpus import ALL_FILES, KERNEL_FILES, CorpusFile
 from ..minic import ast_nodes as ast
 from ..minic.pretty import render_expression
-from .analyses import ANALYSIS_ORDER
-from .artifacts import SharedArtifacts
+from .analyses import ANALYSIS_ORDER, blocking_witness, summary_payload
 from .core import AnalysisEngine, EngineReport
 
 
@@ -61,6 +62,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="append {wall time, cache stats, summary stats} to "
                           "this JSON file (one entry per run; the CI smoke "
                           "step tracks the perf trajectory with it)")
+    run.add_argument("--bench-incremental", action="store_true",
+                     help="also benchmark the incremental analyzer (cold "
+                          "pass, then touch one TU and re-analyze); the "
+                          "result lands in the --bench-json entry")
+    run.add_argument("--cache-max-mb", type=float, default=None,
+                     help="LRU-evict the on-disk artifact cache beyond this "
+                          "size (requires --cache-dir)")
+    run.add_argument("--corpus-dir", default=None,
+                     help="analyze a corpus tree exported by 'export-corpus' "
+                          "instead of the embedded sources")
 
     report = sub.add_parser("report", help="re-render a saved JSON report")
     report.add_argument("input", help="path to a report written by 'run --output'")
@@ -94,34 +105,111 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="restrict the dump to one function")
     cfg.add_argument("--format", default="text", choices=("text", "json"))
 
+    export = sub.add_parser(
+        "export-corpus",
+        help="write the embedded corpus to a directory tree (plus a "
+             "MANIFEST.json recording link order) for 'serve' to watch")
+    export.add_argument("directory", help="target directory")
+    export.add_argument("--include-user", action="store_true",
+                        help="export user-level corpus files too")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on analysis service: a file watcher drives "
+             "incremental re-analysis behind an HTTP JSON API")
+    serve.add_argument("--corpus-dir", default=None,
+                       help="corpus tree to watch (from 'export-corpus'); "
+                            "without it the embedded corpus is served and "
+                            "only POST /analyze re-analyzes")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8571,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--precision", default="type_based",
+                       choices=[p.name.lower() for p in Precision])
+    serve.add_argument("--poll-seconds", type=float, default=0.5,
+                       help="corpus poll interval")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
     sub.add_parser("list", help="list the registered analyses")
     return parser
 
 
+def _run_files(args: argparse.Namespace) -> "tuple[CorpusFile, ...]":
+    if getattr(args, "corpus_dir", None):
+        from ..service.watcher import load_corpus_dir
+
+        return load_corpus_dir(args.corpus_dir)
+    return ALL_FILES if args.include_user else KERNEL_FILES
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    files = _run_files(args)
+    precision = Precision[args.precision.upper()]
     engine = AnalysisEngine(
-        files=ALL_FILES if args.include_user else KERNEL_FILES,
-        precision=Precision[args.precision.upper()],
-        cache_dir=args.cache_dir)
+        files=files,
+        precision=precision,
+        cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
+        tolerant=True)
     try:
         names = engine.resolve_analyses(args.analyses)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     report = engine.run(analyses=names, jobs=args.jobs)
+    incremental = (_bench_incremental(files, precision)
+                   if args.bench_incremental else None)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
             handle.write("\n")
     if args.bench_json:
-        _append_bench_entry(args.bench_json, report)
+        _append_bench_entry(args.bench_json, report, incremental=incremental)
     print(report.to_json() if args.format == "json" else report.render_text())
     if args.fail_on_findings and report.finding_count:
         return 1
     return 0
 
 
-def _append_bench_entry(path: str, report: EngineReport) -> None:
+def _bench_incremental(files: "tuple[CorpusFile, ...]",
+                       precision: Precision) -> dict:
+    """Time the incremental analyzer: cold pass, then a one-TU touch.
+
+    The touch appends a fresh no-op function to the last translation unit —
+    a body-level edit that must dirty exactly one SCC (the new singleton)
+    and re-parse exactly one unit; the entry records how far the pass
+    actually was from that ideal alongside its wall time.
+    """
+    import dataclasses
+    import time
+
+    from ..service.incremental import IncrementalAnalyzer
+
+    analyzer = IncrementalAnalyzer(files=files, precision=precision)
+    start = time.perf_counter()
+    analyzer.analyze()
+    cold_seconds = time.perf_counter() - start
+    touched = dataclasses.replace(
+        files[-1],
+        source=files[-1].source + "\nint __bench_touch(void) { return 0; }\n")
+    start = time.perf_counter()
+    analyzer.analyze(files[:-1] + (touched,))
+    touch_seconds = time.perf_counter() - start
+    stats = analyzer.last_stats
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "touch_seconds": round(touch_seconds, 4),
+        "parsed_units": stats.parsed_units,
+        "dirty_sccs": stats.dirty_sccs,
+        "sccs_reused": stats.sccs_reused,
+        "shards_rerun": stats.shards_rerun,
+        "full_reparse": stats.full_reparse,
+    }
+
+
+def _append_bench_entry(path: str, report: EngineReport,
+                        incremental: dict | None = None) -> None:
     """Append one run's perf entry to the benchmark-trajectory JSON file."""
     entries: list[dict] = []
     try:
@@ -130,7 +218,7 @@ def _append_bench_entry(path: str, report: EngineReport) -> None:
         entries = list(payload.get("runs", []))
     except (OSError, json.JSONDecodeError):
         pass
-    entries.append({
+    entry = {
         "elapsed_seconds": round(report.elapsed_seconds, 4),
         "jobs": report.jobs,
         "parallel": report.parallel,
@@ -138,7 +226,10 @@ def _append_bench_entry(path: str, report: EngineReport) -> None:
         "finding_count": report.finding_count,
         "cache_stats": report.cache_stats,
         "summary_stats": report.summary_stats,
-    })
+    }
+    if incremental is not None:
+        entry["incremental"] = incremental
+    entries.append(entry)
     hits = sum(1 for entry in entries
                if entry.get("summary_stats", {}).get("cache_hit"))
     with open(path, "w", encoding="utf-8") as handle:
@@ -160,41 +251,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = EngineReport.from_dict(payload)
     print(report.to_json() if args.format == "json" else report.render_text())
     return 0
-
-
-def _blocking_witness(artifacts: SharedArtifacts, name: str) -> list[str]:
-    """A shortest call chain from ``name`` to a blocking primitive.
-
-    This is the paper's "why might this block" explanation: the path ends
-    at an annotated ``blocking`` seed, or at a ``blocking_if_wait``
-    allocator when the function only blocks through a GFP_WAIT allocation.
-    """
-    blocking = artifacts.blocking
-    path = artifacts.graph.shortest_path(name, set(blocking.seeds))
-    if not path:
-        path = artifacts.graph.shortest_path(name, set(blocking.conditional_seeds))
-    return path or [name]
-
-
-def _summary_payload(artifacts: SharedArtifacts, name: str) -> dict:
-    summary = artifacts.summaries.get(name)
-    if summary is None:
-        return {}
-    payload = {
-        "defined": summary.defined,
-        "may_block": summary.may_block,
-        "irq_delta": summary.irq_delta,
-        "locks_held": [list(pair) for pair in summary.locks_held],
-        "locks_released": [list(pair) for pair in summary.locks_released],
-        "may_return_held": list(summary.may_return_held),
-        "acquires": list(summary.acquires),
-        "error_returns": list(summary.error_returns),
-        "frame_size": summary.frame_size,
-        "stack_depth": summary.stack_depth,
-    }
-    if summary.may_block:
-        payload["witness"] = _blocking_witness(artifacts, name)
-    return payload
 
 
 def _cmd_callgraph(args: argparse.Namespace) -> int:
@@ -219,7 +275,7 @@ def _cmd_callgraph(args: argparse.Namespace) -> int:
             "waves": [[list(condensation.sccs[i]) for i in wave]
                       for wave in condensation.waves],
             "recursive": sorted(condensation.recursive_functions()),
-            "summaries": {name: _summary_payload(artifacts, name)
+            "summaries": {name: summary_payload(artifacts, name)
                           for name in names},
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -248,7 +304,7 @@ def _cmd_callgraph(args: argparse.Namespace) -> int:
         summary = artifacts.summaries[name]
         if not (summary.defined and summary.may_block):
             continue
-        lines.append(f"  {name}: {' -> '.join(_blocking_witness(artifacts, name))}")
+        lines.append(f"  {name}: {' -> '.join(blocking_witness(artifacts, name))}")
     print("\n".join(lines))
     return 0
 
@@ -371,6 +427,25 @@ def _cmd_cfg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_corpus(args: argparse.Namespace) -> int:
+    from ..service.watcher import export_corpus
+
+    files = ALL_FILES if args.include_user else KERNEL_FILES
+    manifest = export_corpus(args.directory, files)
+    print(f"exported {len(files)} corpus files to {args.directory} "
+          f"({manifest.name} records link order)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service.daemon import serve
+
+    serve(corpus_dir=args.corpus_dir, host=args.host, port=args.port,
+          precision=Precision[args.precision.upper()],
+          poll_seconds=args.poll_seconds, verbose=args.verbose)
+    return 0
+
+
 def _cmd_list() -> int:
     for name in ANALYSIS_ORDER:
         print(name)
@@ -387,6 +462,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_callgraph(args)
     if args.command == "cfg":
         return _cmd_cfg(args)
+    if args.command == "export-corpus":
+        return _cmd_export_corpus(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_list()
 
 

@@ -28,13 +28,14 @@ from ..dataflow.interproc import (
     solve_summaries,
 )
 from ..deputy.checker import DeputyOptions
-from ..kernel.build import parse_corpus
+from ..kernel.build import ParseDiagnostic, parse_corpus, parse_corpus_tolerant
 from ..kernel.corpus import KERNEL_FILES, CorpusFile
 from ..machine.program import Program
 from .analyses import (
     ANALYSIS_ORDER,
     AnalysisReport,
     EngineAnalysis,
+    diagnostics_report,
     finding_sort_key,
     make_registry,
 )
@@ -195,12 +196,19 @@ class AnalysisEngine:
                  precision: Precision = Precision.TYPE_BASED,
                  cache: ArtifactCache | None = None,
                  cache_dir: str | None = None,
+                 cache_max_mb: float | None = None,
+                 tolerant: bool = False,
                  deputy_options: DeputyOptions | None = None,
                  runtime_checks: RuntimeCheckSet | None = None) -> None:
         self.files = tuple(files)
         self.defines = dict(defines or {})
         self.precision = precision
-        self.cache = cache if cache is not None else ArtifactCache(cache_dir)
+        self.cache = (cache if cache is not None
+                      else ArtifactCache(cache_dir, max_mb=cache_max_mb))
+        #: Tolerant mode isolates frontend errors per translation unit: the
+        #: broken file becomes a structured ``diagnostics`` finding and every
+        #: other unit is still analyzed.  Strict mode (the default) raises.
+        self.tolerant = tolerant
         self.registry = make_registry(deputy_options, runtime_checks)
         #: Whether the last summary solve was served from the cache; None
         #: until a solve is attempted (e.g. artifacts were memory-cached).
@@ -213,14 +221,28 @@ class AnalysisEngine:
     # -- shared artifacts ---------------------------------------------------
 
     def program_key(self) -> str:
-        return self.cache.content_key("program", files=self.files,
+        kind = "program-tolerant" if self.tolerant else "program"
+        return self.cache.content_key(kind, files=self.files,
                                       defines=self.defines)
 
     def program(self) -> Program:
         """The parsed, linked corpus — built at most once per content key."""
+        if self.tolerant:
+            return self._tolerant_parse()[0]
         return self.cache.get_or_build(
             self.program_key(),
             lambda: parse_corpus(self.files, self.defines))
+
+    def _tolerant_parse(self) -> "tuple[Program, tuple[ParseDiagnostic, ...]]":
+        return self.cache.get_or_build(
+            self.program_key(),
+            lambda: parse_corpus_tolerant(self.files, self.defines))
+
+    def parse_diagnostics(self) -> tuple[ParseDiagnostic, ...]:
+        """Per-file frontend errors (tolerant mode only; else empty)."""
+        if not self.tolerant:
+            return ()
+        return self._tolerant_parse()[1]
 
     def fresh_program(self) -> Program:
         """A private, mutation-safe copy of the parsed corpus.
@@ -469,10 +491,14 @@ class AnalysisEngine:
         for name in names:
             payloads = [payload for _, payload in sorted(shards[name])]
             report.analyses[name] = self.registry[name].merge(artifacts, payloads)
+        diagnostics = self.parse_diagnostics()
+        if diagnostics:
+            report.analyses["diagnostics"] = diagnostics_report(diagnostics)
         report.elapsed_seconds = time.perf_counter() - start
         report.cache_stats = {"hits": self.cache.hits,
                               "misses": self.cache.misses,
                               "disk_hits": self.cache.disk_hits,
+                              "evictions": self.cache.evictions,
                               "const_solve_ms": round(
                                   self._consts_solve_seconds * 1000, 3)}
         report.summary_stats = self.summary_stats(artifacts)

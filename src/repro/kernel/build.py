@@ -22,6 +22,7 @@ from ..ccount import instrument as ccount_instrument
 from ..deputy import DeputyOptions, InstrumentationResult
 from ..deputy import instrument as deputy_instrument
 from ..machine.program import Program
+from ..minic.errors import MiniCError, SourceLocation
 from ..minic.lexer import tokenize
 from ..minic.parser import Parser
 from ..minic.source import Preprocessor
@@ -103,6 +104,73 @@ def parse_corpus(files: tuple[CorpusFile, ...] = ALL_FILES,
     # same macro environment.
     program._corpus_preprocessor = preprocessor  # type: ignore[attr-defined]
     return program
+
+
+@dataclass(frozen=True)
+class ParseDiagnostic:
+    """A frontend error confined to one translation unit."""
+
+    filename: str
+    kind: str            # "lex-error", "parse-error", "type-error", ...
+    message: str
+    location: SourceLocation
+
+    def to_dict(self) -> dict:
+        return {"filename": self.filename, "kind": self.kind,
+                "message": self.message,
+                "file": self.location.filename, "line": self.location.line,
+                "column": self.location.column}
+
+
+def _diagnostic_kind(error: MiniCError) -> str:
+    name = type(error).__name__.rstrip("_")
+    parts = []
+    for ch in name:
+        if ch.isupper() and parts:
+            parts.append("-")
+        parts.append(ch.lower())
+    return "".join(parts)
+
+
+def parse_corpus_tolerant(
+    files: tuple[CorpusFile, ...] = ALL_FILES,
+    defines: dict[str, str] | None = None,
+    registry: TypeRegistry | None = None,
+    preprocessor: Preprocessor | None = None,
+) -> tuple[Program, tuple[ParseDiagnostic, ...]]:
+    """Parse and link the corpus, isolating frontend errors per file.
+
+    A lex/parse/type error in one translation unit no longer aborts the
+    whole build: the broken file is skipped (its functions simply don't
+    exist in the linked program — every analysis stays sound over the
+    files that *did* parse) and reported as a structured diagnostic.
+    Link-time errors (duplicate definitions) skip the offending unit the
+    same way.
+    """
+    registry = registry or TypeRegistry()
+    preprocessor = preprocessor or Preprocessor(defines)
+    program = Program(registry=registry)
+    diagnostics: list[ParseDiagnostic] = []
+    linked: list = []
+    for corpus_file in files:
+        try:
+            unit = _parse_file(corpus_file, registry, preprocessor)
+            program.add_unit(unit)
+            linked.append(unit)
+        except MiniCError as error:
+            diagnostics.append(ParseDiagnostic(
+                filename=corpus_file.filename,
+                kind=_diagnostic_kind(error),
+                message=error.message,
+                location=error.location))
+            if len(program.units) != len(linked):
+                # add_unit failed midway; relink the good units so the
+                # broken one leaves no partial functions/globals behind.
+                program = Program(registry=registry)
+                for good in linked:
+                    program.add_unit(good)
+    program._corpus_preprocessor = preprocessor  # type: ignore[attr-defined]
+    return program, tuple(diagnostics)
 
 
 def build_kernel(config: BuildConfig | None = None,

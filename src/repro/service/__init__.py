@@ -1,0 +1,29 @@
+"""Always-on analysis service: incremental re-analysis behind an HTTP API.
+
+Layered as:
+
+* :mod:`repro.service.incremental` — the :class:`IncrementalAnalyzer`
+  core: per-TU parse reuse, per-function constant facts, per-SCC Merkle
+  summary keys, per-(analysis, unit) shard payload caching; byte-identical
+  with batch engine reports by construction;
+* :mod:`repro.service.watcher` — corpus export/load on disk plus the
+  polling, debouncing :class:`CorpusWatcher`;
+* :mod:`repro.service.api` — the stdlib HTTP JSON endpoints;
+* :mod:`repro.service.daemon` — :class:`AnalysisService`, which ties the
+  three together and publishes immutable snapshots.
+"""
+
+from .daemon import AnalysisService, Snapshot, serve
+from .incremental import IncrementalAnalyzer, IncrementalStats
+from .watcher import CorpusWatcher, export_corpus, load_corpus_dir
+
+__all__ = [
+    "AnalysisService",
+    "CorpusWatcher",
+    "IncrementalAnalyzer",
+    "IncrementalStats",
+    "Snapshot",
+    "export_corpus",
+    "load_corpus_dir",
+    "serve",
+]

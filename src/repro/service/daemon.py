@@ -1,0 +1,158 @@
+"""The always-on analysis service: watcher → incremental pass → snapshot.
+
+:class:`AnalysisService` owns one :class:`IncrementalAnalyzer` and publishes
+its results as immutable :class:`Snapshot` records.  Passes are serialized
+behind a lock (the analyzer mutates shared parse state); readers never take
+that lock — they grab ``service.snapshot`` (a single atomic attribute read)
+and serve from it, so the HTTP API stays responsive mid-re-analysis.
+
+With a corpus directory the service watches the tree and reconciles when
+edits settle; without one it serves the embedded corpus and re-analyzes only
+on ``POST /analyze``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..blockstop.pointsto import Precision
+from ..engine.artifacts import SharedArtifacts
+from ..engine.core import EngineReport
+from .incremental import IncrementalAnalyzer, IncrementalStats
+from .watcher import CorpusWatcher, load_corpus_dir
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published analysis state; everything a request needs, immutably."""
+
+    revision: int
+    report: EngineReport
+    stats: IncrementalStats
+    artifacts: SharedArtifacts
+    created: float
+
+
+class AnalysisService:
+    """Drive incremental re-analysis of a corpus and publish snapshots."""
+
+    def __init__(self,
+                 corpus_dir: str | Path | None = None,
+                 files=None,
+                 defines: dict[str, str] | None = None,
+                 precision: Precision = Precision.TYPE_BASED,
+                 poll_seconds: float = 0.5,
+                 debounce_seconds: float = 0.3,
+                 verbose: bool = False) -> None:
+        self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
+        if files is None and self.corpus_dir is not None:
+            files = load_corpus_dir(self.corpus_dir)
+        kwargs = {} if files is None else {"files": tuple(files)}
+        self.analyzer = IncrementalAnalyzer(defines=defines,
+                                            precision=precision, **kwargs)
+        self.verbose = verbose
+        self.snapshot: Snapshot | None = None
+        self.passes = 0
+        self.started = time.monotonic()
+        self._reconcile_lock = threading.Lock()
+        self._totals = {"parsed_units": 0, "consts_solved": 0,
+                        "dirty_sccs": 0, "sccs_reused": 0,
+                        "shards_rerun": 0, "shards_reused": 0,
+                        "full_reparses": 0}
+        self.watcher = (CorpusWatcher(self.corpus_dir, self.reconcile,
+                                      poll_seconds=poll_seconds,
+                                      debounce_seconds=debounce_seconds)
+                        if self.corpus_dir is not None else None)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def uptime(self) -> float:
+        return time.monotonic() - self.started
+
+    def reconcile(self) -> Snapshot:
+        """Run one analysis pass over the current sources and publish it."""
+        with self._reconcile_lock:
+            files = (load_corpus_dir(self.corpus_dir)
+                     if self.corpus_dir is not None else None)
+            report = self.analyzer.analyze(files)
+            stats = self.analyzer.last_stats
+            snapshot = Snapshot(revision=self.analyzer.revision,
+                                report=report, stats=stats,
+                                artifacts=self.analyzer.artifacts,
+                                created=time.time())
+            for key in ("parsed_units", "consts_solved", "dirty_sccs",
+                        "sccs_reused", "shards_rerun", "shards_reused"):
+                self._totals[key] += getattr(stats, key)
+            if stats.full_reparse:
+                self._totals["full_reparses"] += 1
+            # Publishing is one attribute store: concurrent readers see
+            # either the old snapshot or the new one, never a mixture.
+            self.snapshot = snapshot
+            self.passes += 1
+            return snapshot
+
+    def start(self) -> None:
+        """Kick off the initial pass (in the background) and the watcher."""
+        threading.Thread(target=self.reconcile,
+                         name="repro-initial-reconcile",
+                         daemon=True).start()
+        if self.watcher is not None:
+            self.watcher.start()
+
+    def stop(self) -> None:
+        if self.watcher is not None:
+            self.watcher.stop()
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        snapshot = self.snapshot
+        payload = {
+            "status": "ok" if snapshot is not None else "starting",
+            "uptime_seconds": round(self.uptime(), 3),
+            "passes": self.passes,
+            "watching": (self.corpus_dir.as_posix()
+                         if self.corpus_dir is not None else None),
+            "totals": dict(self._totals),
+        }
+        if snapshot is not None:
+            payload.update({
+                "revision": snapshot.revision,
+                "corpus_files": snapshot.report.corpus_files,
+                "finding_count": snapshot.report.finding_count,
+                "precision": snapshot.report.precision,
+                "last_pass": snapshot.stats.to_dict(),
+                "summary_stats": snapshot.report.summary_stats,
+            })
+        return payload
+
+
+def serve(corpus_dir: str | Path | None = None,
+          host: str = "127.0.0.1", port: int = 8571,
+          defines: dict[str, str] | None = None,
+          precision: Precision = Precision.TYPE_BASED,
+          poll_seconds: float = 0.5,
+          verbose: bool = False) -> None:
+    """Run the analysis service until interrupted (the CLI entry point)."""
+    from .api import make_server
+
+    service = AnalysisService(corpus_dir=corpus_dir, defines=defines,
+                              precision=precision, poll_seconds=poll_seconds,
+                              verbose=verbose)
+    server = make_server(service, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    service.start()
+    print(f"repro-engine serve: listening on http://{bound_host}:{bound_port}"
+          + (f", watching {service.corpus_dir}" if service.corpus_dir else
+             " (embedded corpus; POST /analyze to refresh)"),
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        server.server_close()

@@ -1,0 +1,150 @@
+"""Corpus-on-disk support for the analysis service.
+
+The repro's corpus is embedded in :mod:`repro.kernel.corpus` as Python
+literals; a long-running service needs sources it can *watch*.  This module
+round-trips the corpus through a directory tree:
+
+* :func:`export_corpus` writes each translation unit to its corpus path
+  (``lib/kernel_lib.c`` and friends) plus a ``MANIFEST.json`` recording the
+  link order — corpus files share one macro/type namespace, so order is
+  semantic, not cosmetic;
+* :func:`load_corpus_dir` reads the tree back into :class:`CorpusFile`
+  tuples, honoring the manifest when present and falling back to sorted
+  ``*.c`` discovery otherwise;
+* :class:`CorpusWatcher` polls the tree for changes (mtime/size based, with
+  a debounce window so an editor's burst of writes coalesces into one
+  re-analysis) and invokes a callback off its own daemon thread.
+
+Polling is deliberate: it needs no platform notification API, and the
+incremental analyzer makes the follow-up pass cheap enough that a sub-second
+poll interval costs almost nothing when nothing changed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..kernel.corpus import KERNEL_FILES, CorpusFile
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_SCHEMA = "repro-corpus-manifest/1"
+
+
+def export_corpus(directory: str | Path,
+                  files: Iterable[CorpusFile] = KERNEL_FILES) -> Path:
+    """Write ``files`` under ``directory`` and return the manifest path."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = {"schema": MANIFEST_SCHEMA, "files": []}
+    for corpus_file in files:
+        target = root / corpus_file.filename
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(corpus_file.source)
+        manifest["files"].append({"filename": corpus_file.filename,
+                                  "path": corpus_file.filename,
+                                  "kernel": corpus_file.kernel})
+    manifest_path = root / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return manifest_path
+
+
+def load_corpus_dir(directory: str | Path) -> tuple[CorpusFile, ...]:
+    """Read a corpus tree back into link order.
+
+    With a manifest, files load in its order under their recorded corpus
+    filenames.  Without one, every ``*.c`` below the directory is taken in
+    sorted relative-path order — deterministic, though possibly not the
+    dependency order the embedded corpus uses.
+    """
+    root = Path(directory)
+    manifest_path = root / MANIFEST_NAME
+    files: list[CorpusFile] = []
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        for entry in manifest.get("files", []):
+            path = root / entry.get("path", entry["filename"])
+            files.append(CorpusFile(
+                filename=entry["filename"],
+                source=path.read_text(),
+                kernel=bool(entry.get("kernel", True))))
+        return tuple(files)
+    for path in sorted(root.rglob("*.c")):
+        files.append(CorpusFile(filename=path.relative_to(root).as_posix(),
+                                source=path.read_text()))
+    return tuple(files)
+
+
+class CorpusWatcher:
+    """Poll a corpus directory and fire ``on_change`` after edits settle.
+
+    ``on_change`` runs on the watcher thread once no further modification
+    has been observed for ``debounce_seconds`` — so saving five files in
+    two seconds triggers one re-analysis, not five.
+    """
+
+    def __init__(self, directory: str | Path,
+                 on_change: Callable[[], None],
+                 poll_seconds: float = 0.5,
+                 debounce_seconds: float = 0.3) -> None:
+        self.directory = Path(directory)
+        self.on_change = on_change
+        self.poll_seconds = poll_seconds
+        self.debounce_seconds = debounce_seconds
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last_state = self._scan()
+
+    def _scan(self) -> dict[str, tuple[int, int]]:
+        state: dict[str, tuple[int, int]] = {}
+        paths = list(self.directory.rglob("*.c"))
+        manifest = self.directory / MANIFEST_NAME
+        if manifest.exists():
+            paths.append(manifest)
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            state[path.as_posix()] = (stat.st_mtime_ns, stat.st_size)
+        return state
+
+    def poll_once(self) -> bool:
+        """One poll step; True if a (settled) change fired the callback."""
+        state = self._scan()
+        if state == self._last_state:
+            return False
+        # Debounce: wait for the tree to hold still before reporting.
+        while not self._stop.is_set():
+            previous = state
+            if self._stop.wait(self.debounce_seconds):
+                return False
+            state = self._scan()
+            if state == previous:
+                break
+        self._last_state = state
+        self.on_change()
+        return True
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_seconds):
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001 - a watcher must outlive bad polls
+                continue
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-corpus-watcher",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
