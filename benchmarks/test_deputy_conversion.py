@@ -31,3 +31,7 @@ def test_deputy_hybrid_checking_split(benchmark):
     assert total > 200
     assert report.checks_static + report.checks_elided > 0.3 * total
     assert report.checks_inserted > 0
+    # The interval domain's contribution: loop-bounded index obligations
+    # (for (i = 0; i < n; ...) a[i]) proven without a run-time check.
+    assert report.checks_interval > 10
+    assert report.checks_interval <= report.checks_static

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Gate the Deputy static-discharge rate against its checked-in baseline.
+
+CI appends engine runs to ``BENCH_engine.json`` (each carrying
+``deputy_checks_discharged`` / ``deputy_checks_total``).  This script reads
+the most recent run that recorded those counters and fails when the
+discharged count has dropped below the repo's ``deputy_discharge_baseline``
+— a regression in the optimizer's ability to prove checks away (e.g. a
+broken interval transfer) would otherwise only show up as a silent perf
+loss in the instrumented corpus.
+
+Raising the baseline is a deliberate act: when an analysis improvement
+discharges more checks, bump ``deputy_discharge_baseline`` in the checked-in
+``BENCH_engine.json`` alongside the change that earned it.
+
+Usage::
+
+    python scripts/check_discharge_baseline.py [BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path!r}: {error}", file=sys.stderr)
+        return 2
+    baseline = payload.get("deputy_discharge_baseline")
+    if baseline is None:
+        print(f"error: {path!r} has no deputy_discharge_baseline key",
+              file=sys.stderr)
+        return 2
+    runs = [run for run in payload.get("runs", [])
+            if "deputy_checks_discharged" in run]
+    if not runs:
+        print(f"error: no run in {path!r} recorded "
+              "deputy_checks_discharged (did the engine run include the "
+              "deputy analysis?)", file=sys.stderr)
+        return 2
+    latest = runs[-1]
+    discharged = latest["deputy_checks_discharged"]
+    total = latest.get("deputy_checks_total", 0)
+    print(f"deputy discharge: {discharged}/{total} static "
+          f"(baseline {baseline})")
+    if discharged < baseline:
+        print(f"FAIL: discharged {discharged} < baseline {baseline} — "
+              "the optimizer lost proving power; fix the regression or "
+              "lower the baseline with justification.", file=sys.stderr)
+        return 1
+    print("OK: discharge at or above baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else "BENCH_engine.json"))

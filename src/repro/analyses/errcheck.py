@@ -35,7 +35,9 @@ from dataclasses import dataclass, field
 
 from ..annotations.attrs import AnnotationKind
 from ..dataflow import COND, DECL, build_cfg, reachable_blocks, solve_forward
-from ..dataflow.consts import FunctionConsts, consts_of, refined_edges
+from ..dataflow.consts import refined_edges
+from ..dataflow.context import AnalysisContext
+from ..dataflow.domains import FunctionFacts, facts_of
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.visitor import iter_child_nodes, walk
@@ -103,31 +105,44 @@ def find_error_returning_functions(
     return result
 
 
-def analyse_error_checks(program: Program,
-                         error_returning: set[str] | None = None,
-                         functions: list[str] | None = None,
-                         consts: dict[str, FunctionConsts | None] | None = None,
-                         ) -> ErrcheckReport:
+def check_error_returns(ctx: AnalysisContext) -> ErrcheckReport:
     """Check that error-returning calls have their results examined.
 
-    ``error_returning`` may be supplied pre-built (it is a whole-program
-    artifact the engine shares); ``functions`` restricts the scan to a subset
-    of defined functions so the engine can shard by translation unit.  The
-    ``unchecked`` list comes out sorted by (function, location) so shard
-    merge order never changes the rendered report.  ``consts`` supplies the
-    per-function constant facts (solved on demand when absent): calls inside
-    constant-false arms create no obligation at all, and the
-    assigned-then-compared pass never propagates pending obligations across
-    infeasible edges.
+    This is the primary entry point, consuming the engine's shared
+    :class:`repro.dataflow.AnalysisContext`.  The error-returning name set
+    travels in ``ctx.extras["error_returning"]`` when pre-built (it is a
+    whole-program artifact the engine shares); ``ctx.functions`` restricts
+    the scan to a subset of defined functions so the engine can shard by
+    translation unit.  The ``unchecked`` list comes out sorted by
+    (function, location) so shard merge order never changes the rendered
+    report.  ``ctx.facts`` supplies the per-function condition facts
+    (solved on demand when absent): calls inside constant-false arms create
+    no obligation at all, and the assigned-then-compared pass never
+    propagates pending obligations across infeasible edges.
     """
     report = ErrcheckReport()
+    error_returning = ctx.extras.get("error_returning")
     report.error_returning = (error_returning if error_returning is not None
-                              else find_error_returning_functions(program))
-    consts_cache = consts if consts is not None else {}
-    for caller, func in program.functions_subset(functions):
+                              else find_error_returning_functions(ctx.program))
+    consts_cache = ctx.facts if ctx.facts is not None else {}
+    for caller, func in ctx.program.functions_subset(ctx.functions):
         _scan_function(report, caller, func, consts_cache)
     report.unchecked.sort(key=_unchecked_sort_key)
     return report
+
+
+def analyse_error_checks(program: Program,
+                         error_returning: set[str] | None = None,
+                         functions: list[str] | None = None,
+                         consts: dict[str, FunctionFacts | None] | None = None,
+                         ) -> ErrcheckReport:
+    """Convenience wrapper for scripts and tests: loose artifacts in, one
+    :class:`AnalysisContext` out, delegated to :func:`check_error_returns`."""
+    extras: dict = {}
+    if error_returning is not None:
+        extras["error_returning"] = error_returning
+    return check_error_returns(AnalysisContext(
+        program=program, functions=functions, facts=consts, extras=extras))
 
 
 def _unchecked_sort_key(call: UncheckedCall) -> tuple:
@@ -329,13 +344,13 @@ def _join(a: PendingState, b: PendingState) -> PendingState:
 
 def _scan_function(report: ErrcheckReport, caller: str,
                    func: ast.FuncDef,
-                   consts_cache: dict[str, FunctionConsts | None]) -> None:
+                   consts_cache: dict[str, FunctionFacts | None]) -> None:
     call_nodes = [node for node in walk(func.body)
                   if (isinstance(node, ast.Call) and isinstance(node.func, ast.Ident)
                       and node.func.name in report.error_returning)]
     if not call_nodes:
         return      # skip the parent-map walk on the (common) irrelevant function
-    func_consts = consts_of(func, cache=consts_cache)
+    func_consts = facts_of(func, cache=consts_cache)
     cfg = None
     if func_consts is not None and func_consts.prunes:
         # A call in a provably-dead arm can never run: it creates no

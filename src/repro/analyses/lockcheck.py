@@ -41,7 +41,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataflow import build_cfg, reachable_blocks, solve_forward
-from ..dataflow.consts import FunctionConsts, consts_of, refined_edges
+from ..dataflow.consts import refined_edges
+from ..dataflow.context import AnalysisContext
+from ..dataflow.domains import FunctionFacts, facts_of
 from ..dataflow.summaries import (
     LOCK_ACQUIRE_CALLS,
     LOCK_RELEASE_CALLS,
@@ -213,33 +215,31 @@ class _FunctionScan:
         return (must, may)
 
 
-def collect_lock_facts(program: Program,
-                       functions: list[str] | None = None,
-                       summaries: dict[str, FunctionSummary] | None = None,
-                       consts: dict[str, FunctionConsts | None] | None = None,
-                       ) -> LockFacts:
+def check_locks(ctx: AnalysisContext) -> LockFacts:
     """Collect acquisitions, interprocedural re-acquisitions, and leaks.
 
-    Purely per-function work: ``functions`` restricts the scan so the engine
-    can shard it by translation unit and concatenate the shard results.
-    ``held_before`` is flow-sensitive must-hold information: a lock acquired
-    on only one path to the site is not included.  With ``summaries``
-    supplied, callee lock deltas are applied at call sites; without them the
-    scan degrades to the purely intraprocedural behaviour.  ``consts`` maps
-    function names to solved constant facts (the engine's keyed artifact);
-    missing entries are solved on demand, and the resulting infeasible-edge
-    set prunes the solve — an acquisition inside an ``if (0)`` arm never
+    This is the primary entry point, consuming the engine's shared
+    :class:`repro.dataflow.AnalysisContext`.  Purely per-function work:
+    ``ctx.functions`` restricts the scan so the engine can shard it by
+    translation unit and concatenate the shard results.  ``held_before`` is
+    flow-sensitive must-hold information: a lock acquired on only one path
+    to the site is not included.  With ``ctx.summaries`` supplied, callee
+    lock deltas are applied at call sites; without them the scan degrades to
+    the purely intraprocedural behaviour.  ``ctx.facts`` maps function
+    names to solved condition facts (the engine's keyed artifact); missing
+    entries are solved on demand, and the resulting infeasible-edge set
+    prunes the solve — an acquisition inside an ``if (0)`` arm never
     reaches the exit state, so it is neither recorded nor reported leaked.
     """
-    summaries = summaries or {}
-    consts_cache = consts if consts is not None else {}
+    summaries = ctx.summaries or {}
+    consts_cache = ctx.facts if ctx.facts is not None else {}
     facts = LockFacts()
-    for name, func in program.functions_subset(functions):
+    for name, func in ctx.program.functions_subset(ctx.functions):
         if not _scan_relevant(func, summaries):
             continue    # nothing can move the lock state: skip CFG + solve
         scan = _FunctionScan(name, summaries)
         cfg = build_cfg(func)
-        func_consts = consts_of(func, cache=consts_cache, cfg=cfg)
+        func_consts = facts_of(func, cache=consts_cache, cfg=cfg)
 
         def transfer(block, state, _scan=scan):
             for element in block.elements:
@@ -264,6 +264,17 @@ def collect_lock_facts(program: Program,
                     function=name, lock=lock, location=location,
                     via_callee=via))
     return facts
+
+
+def collect_lock_facts(program: Program,
+                       functions: list[str] | None = None,
+                       summaries: dict[str, FunctionSummary] | None = None,
+                       consts: dict[str, FunctionFacts | None] | None = None,
+                       ) -> LockFacts:
+    """Convenience wrapper for scripts and tests: loose artifacts in, one
+    :class:`AnalysisContext` out, delegated to :func:`check_locks`."""
+    return check_locks(AnalysisContext(program=program, functions=functions,
+                                       summaries=summaries, facts=consts))
 
 
 def _scan_relevant(func: ast.FuncDef,
@@ -345,7 +356,7 @@ def derive_report(acquisitions: list[LockAcquisition],
 def analyse_locks(program: Program,
                   irq_functions: set[str] | None = None,
                   summaries: dict[str, FunctionSummary] | None = None,
-                  consts: dict[str, FunctionConsts | None] | None = None,
+                  consts: dict[str, FunctionFacts | None] | None = None,
                   ) -> LockReport:
     """Run the lock-safety analysis over every function of ``program``.
 

@@ -26,7 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataflow import build_cfg, reachable_blocks, solve_forward
-from ..dataflow.consts import FunctionConsts, consts_of, refined_edges
+from ..dataflow.consts import refined_edges
+from ..dataflow.context import AnalysisContext
+from ..dataflow.domains import FunctionFacts, facts_of
 from ..dataflow.interproc import solve_summaries
 from ..dataflow.summaries import (
     IRQ_DEPTH_CAP,
@@ -143,7 +145,7 @@ class BlockStopChecker:
                  blocking: BlockingInfo | None = None,
                  irq_handlers: set[str] | None = None,
                  summaries: dict[str, FunctionSummary] | None = None,
-                 consts: dict[str, FunctionConsts | None] | None = None) -> None:
+                 consts: dict[str, FunctionFacts | None] | None = None) -> None:
         self.program = program
         self.precision = precision
         self.runtime_checks = runtime_checks or RuntimeCheckSet()
@@ -230,7 +232,7 @@ class BlockStopChecker:
         if not starts_atomic and not self._can_raise_depth(func):
             return      # depth can never leave 0: skip the CFG + solve cost
         cfg = build_cfg(func)
-        func_consts = consts_of(func, cache=self.consts, cfg=cfg)
+        func_consts = facts_of(func, cache=self.consts, cfg=cfg)
         entry_depth = 1 if starts_atomic else 0
 
         def transfer(block, depth: int) -> int:
@@ -360,6 +362,27 @@ def _contains_asm(func: ast.FuncDef) -> bool:
     return any(isinstance(node, ast.Asm) for node in walk(func.body))
 
 
+def check_blockstop(ctx: AnalysisContext,
+                    precision: Precision = Precision.TYPE_BASED,
+                    runtime_checks: RuntimeCheckSet | None = None,
+                    ) -> BlockStopResult:
+    """Run the full BlockStop analysis over a shared analysis context.
+
+    This is the primary entry point: the engine builds one
+    :class:`repro.dataflow.AnalysisContext` per run and every checker
+    consumes the same bundle.  Prebuilt ``blocking`` facts and the IRQ
+    handler set travel in ``ctx.extras`` (they have no cross-checker home);
+    anything missing is computed on demand exactly as before.
+    """
+    extras = ctx.extras
+    return BlockStopChecker(ctx.program, precision, runtime_checks,
+                            graph=ctx.call_graph,
+                            blocking=extras.get("blocking"),
+                            irq_handlers=extras.get("irq_handlers"),
+                            summaries=ctx.summaries,
+                            consts=ctx.facts).run()
+
+
 def run_blockstop(program: Program,
                   precision: Precision = Precision.TYPE_BASED,
                   runtime_checks: RuntimeCheckSet | None = None,
@@ -367,10 +390,15 @@ def run_blockstop(program: Program,
                   blocking: BlockingInfo | None = None,
                   irq_handlers: set[str] | None = None,
                   summaries: dict[str, FunctionSummary] | None = None,
-                  consts: dict[str, FunctionConsts | None] | None = None,
+                  consts: dict[str, FunctionFacts | None] | None = None,
                   ) -> BlockStopResult:
-    """Convenience entry point: run the full BlockStop analysis."""
-    return BlockStopChecker(program, precision, runtime_checks,
-                            graph=graph, blocking=blocking,
-                            irq_handlers=irq_handlers, summaries=summaries,
-                            consts=consts).run()
+    """Convenience wrapper for scripts and tests: loose artifacts in, one
+    :class:`AnalysisContext` out, delegated to :func:`check_blockstop`."""
+    extras: dict = {}
+    if blocking is not None:
+        extras["blocking"] = blocking
+    if irq_handlers is not None:
+        extras["irq_handlers"] = irq_handlers
+    ctx = AnalysisContext(program=program, call_graph=graph,
+                          summaries=summaries, facts=consts, extras=extras)
+    return check_blockstop(ctx, precision, runtime_checks)

@@ -34,6 +34,7 @@ every caller is computed once per callee and applied at each call site.
 
 from .cfg import COND, DECL, EXPR, RETURN, CFG, BasicBlock, Edge, Element, build_cfg
 from .consts import (
+    ConstDomain,
     FunctionConsts,
     consts_of,
     eval_const,
@@ -41,6 +42,18 @@ from .consts import (
     solve_function_consts,
     solve_program_consts,
 )
+from .context import AnalysisContext
+from .domains import (
+    DEFAULT_DOMAINS,
+    DOMAIN_REGISTRY,
+    AbstractDomain,
+    FunctionFacts,
+    domain_fingerprint,
+    facts_of,
+    solve_function_facts,
+    solve_program_facts,
+)
+from .intervals import IntervalDomain, eval_interval, interval_condition_facts
 from .interproc import (
     Condensation,
     SummaryDivergence,
@@ -53,15 +66,22 @@ from .solver import INFEASIBLE, FixpointDivergence, reachable_blocks, solve_forw
 from .summaries import FunctionSummary, SummaryContext, build_context
 
 __all__ = [
+    "AbstractDomain",
+    "AnalysisContext",
     "CFG",
     "BasicBlock",
     "COND",
     "Condensation",
+    "ConstDomain",
     "DECL",
+    "DEFAULT_DOMAINS",
+    "DOMAIN_REGISTRY",
     "EXPR",
     "FunctionConsts",
+    "FunctionFacts",
     "FunctionSummary",
     "INFEASIBLE",
+    "IntervalDomain",
     "RETURN",
     "Edge",
     "Element",
@@ -72,13 +92,19 @@ __all__ = [
     "callgraph_fingerprint",
     "condense_callgraph",
     "consts_of",
+    "domain_fingerprint",
     "eval_const",
+    "eval_interval",
+    "facts_of",
     "FixpointDivergence",
+    "interval_condition_facts",
     "reachable_blocks",
     "refined_edges",
     "solve_forward",
     "solve_function_consts",
+    "solve_function_facts",
     "solve_program_consts",
+    "solve_program_facts",
     "solve_scc",
     "solve_summaries",
 ]

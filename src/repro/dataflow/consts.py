@@ -566,6 +566,61 @@ def solve_function_consts(func: ast.FuncDef, cfg: Optional[CFG] = None) -> Funct
     return result
 
 
+class ConstDomain:
+    """Constant propagation as an :class:`~repro.dataflow.domains.AbstractDomain`.
+
+    The port of this module onto the pluggable-domain protocol: everything
+    above (folding, the evaluation-order-sound transfer, branch refinement,
+    switch dispatch) is reused verbatim; this class only adapts the
+    signatures.  The lattice is finite-height per function, so ``widen`` is
+    plain join and ``narrow`` keeps the fixpoint it already reached.  The
+    constant component never reads the product snapshot — it is the *base*
+    of the reduction, every other domain folds through it.
+    """
+
+    name = "consts"
+
+    def __init__(self, func: ast.FuncDef, cfg: CFG, safe: frozenset[str]) -> None:
+        self.safe = safe
+
+    def bottom(self) -> None:
+        return None  # ⊥ is the solver's None, never an environment
+
+    def initial(self) -> ConstEnv:
+        return {}
+
+    def transfer(self, element, state: ConstEnv, product) -> ConstEnv:
+        return _transfer_element(state, element, self.safe)
+
+    def join(self, a: ConstEnv, b: ConstEnv) -> ConstEnv:
+        return join_envs(a, b)
+
+    def widen(self, old: ConstEnv, new: ConstEnv) -> ConstEnv:
+        return join_envs(old, new)
+
+    def narrow(self, old: ConstEnv, new: ConstEnv) -> ConstEnv:
+        return old
+
+    def refine_edge(self, block: BasicBlock, pos: int, edge: Edge, state: ConstEnv, product):
+        outcome = _refine_edge(block, pos, edge, state, self.safe)
+        if outcome is INFEASIBLE:
+            return INFEASIBLE
+        if not outcome:
+            return state
+        merged = dict(state)
+        merged.update(outcome)
+        return merged
+
+    def edge_facts(
+        self, block: BasicBlock, pos: int, edge: Edge, state: ConstEnv
+    ) -> "EdgeFacts | object":
+        """The recording hook: the facts tuple one edge contributes."""
+        return _refine_edge(block, pos, edge, state, self.safe)
+
+    def freeze(self, state: ConstEnv) -> FrozenEnv:
+        return freeze_env(state)
+
+
 def refined_edges(consts: Optional[FunctionConsts]):
     """An ``edge_refine`` hook for *client* lattices: skip infeasible edges.
 

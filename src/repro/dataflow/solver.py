@@ -24,6 +24,14 @@ constant component pass :func:`repro.dataflow.consts.refined_edges` here.
 Termination is the analysis's responsibility in principle (states must stop
 changing), but all the repro's lattices are finite; a generous iteration
 cap turns a non-converging transfer into a loud error instead of a hang.
+
+Lattices with infinite ascending chains (the interval domain of
+:mod:`repro.dataflow.intervals`) pass a ``widen`` hook: after a block's
+input has been updated ``WIDEN_DELAY`` times, further updates go through
+``widen(old, new)`` instead of plain join, which must jump far enough up
+the lattice to make the chain finite.  Counting *updates per target block*
+rather than detecting back edges keeps the solver oblivious to loop
+structure — irreducible flow (``goto`` into a loop) widens just the same.
 """
 
 from __future__ import annotations
@@ -43,6 +51,9 @@ INFEASIBLE = object()
 #: Upper bound on worklist pops per block before declaring divergence.
 MAX_VISITS_PER_BLOCK = 1000
 
+#: Joins a block input absorbs before further updates are widened.
+WIDEN_DELAY = 3
+
 
 class FixpointDivergence(RuntimeError):
     """Raised when a transfer/join pair fails to converge (lattice bug)."""
@@ -54,6 +65,8 @@ def solve_forward(
     join: JoinFn,
     entry_state: Any,
     edge_refine: Optional[EdgeRefineFn] = None,
+    widen: Optional[JoinFn] = None,
+    widen_delay: int = WIDEN_DELAY,
 ) -> list[Optional[Any]]:
     """Solve a forward dataflow problem; returns per-block *input* states.
 
@@ -62,11 +75,16 @@ def solve_forward(
     edge leading there was refined away as infeasible.  Output states are
     recomputed on demand by re-applying ``transfer`` (see
     :func:`iter_elements` for the recording pass).
+
+    ``widen``, when supplied, replaces the join for a target block once its
+    input state has already changed ``widen_delay`` times — the delay lets
+    small constant loops settle exactly before bounds are thrown away.
     """
     in_states: list[Optional[Any]] = [None] * len(cfg.blocks)
     in_states[cfg.entry] = entry_state
     worklist: deque[int] = deque([cfg.entry])
     queued = {cfg.entry}
+    updates = [0] * len(cfg.blocks)
     visits = 0
     budget = MAX_VISITS_PER_BLOCK * max(1, len(cfg.blocks))
     while worklist:
@@ -89,6 +107,15 @@ def solve_forward(
             current = in_states[edge.target]
             merged = edge_state if current is None else join(current, edge_state)
             if merged != current:
+                if (
+                    widen is not None
+                    and current is not None
+                    and updates[edge.target] >= widen_delay
+                ):
+                    merged = widen(current, merged)
+                    if merged == current:
+                        continue
+                updates[edge.target] += 1
                 in_states[edge.target] = merged
                 if edge.target not in queued:
                     queued.add(edge.target)

@@ -44,7 +44,8 @@ from ..minic import ast_nodes as ast
 from ..minic.pretty import render_expression
 from ..minic.visitor import walk
 from .cfg import RETURN, build_cfg
-from .consts import FunctionConsts, consts_of, eval_const, refined_edges
+from .consts import eval_const, refined_edges
+from .domains import FunctionFacts, facts_of
 from .solver import solve_forward
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a package cycle
@@ -238,13 +239,13 @@ class SummaryContext:
     resolved_indirect: dict[str, frozenset[str]] = field(default_factory=dict)
     #: Per-function constant facts; seeded from the engine's keyed artifact
     #: when available, filled lazily (memoized) otherwise.
-    consts: dict[str, FunctionConsts | None] = field(default_factory=dict)
+    consts: dict[str, FunctionFacts | None] = field(default_factory=dict)
 
 
 def build_context(
     program: Program,
     graph: "CallGraph",
-    consts: dict[str, FunctionConsts | None] | None = None,
+    consts: dict[str, FunctionFacts | None] | None = None,
 ) -> SummaryContext:
     """Derive the summary-computation context from program + call graph."""
     blocking: set[str] = set()
@@ -502,7 +503,7 @@ def _caller_meaningful(lock: str, local_names: frozenset[str]) -> bool:
     return not (mentioned & local_names)
 
 
-def _live_elements(cfg, func_consts: FunctionConsts):
+def _live_elements(cfg, func_consts: FunctionFacts):
     """Yield ``(element, expr)`` for every element on a feasible path."""
     for block in cfg.blocks:
         if block.index not in func_consts.reachable:
@@ -553,7 +554,7 @@ def compute_summary(
             may_block=name in ctx.blocking_seeds,
             error_returns=(-1,) if name in ctx.errcode_annotated else (),
         )
-    func_consts = consts_of(func, cache=ctx.consts)
+    func_consts = facts_of(func, cache=ctx.consts)
     cfg = None
     may_block = name in ctx.blocking_seeds
     error_codes: set[int] = set()

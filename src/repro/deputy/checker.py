@@ -168,7 +168,7 @@ def _rebind_field_expr(expr: ast.Expr, base: ast.Expr) -> ast.Expr | None:
 
 def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
                  options: DeputyOptions, loc: SourceLocation,
-                 fold=None) -> Decision:
+                 fold=None, prove=None) -> Decision:
     """Decide how to check ``base[index]``.
 
     ``fold(expr) -> int | None`` supplies flow-sensitive constant facts from
@@ -180,6 +180,14 @@ def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
     region facts: count/bound expressions name struct fields, which could
     shadow an identically-named local, so they fold through literal
     constants alone.
+
+    ``prove(index, bound) -> bool`` is the region cache's interval/guard
+    prover: it discharges the non-constant case ``0 <= index < bound``
+    when the interval facts pin the lower bound and a dominating loop
+    guard (or a numeric interval against a literal bound) pins the strict
+    upper bound.  It receives the bound *as rendered at the access site*
+    (after field rebinding), so guard keys recorded from the loop
+    condition match.
     """
     base_type = env.type_of(base)
     facts = pointer_facts(base_type)
@@ -198,6 +206,9 @@ def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
         if count_expr is None:
             return Decision(ObligationStatus.TRUSTED, ObligationKind.INDEX,
                             detail="count expression not expressible at access site")
+        if prove is not None and prove(index, count_expr):
+            return Decision(ObligationStatus.STATIC, ObligationKind.INDEX,
+                            detail="interval-bounded index")
         check = _check_call("__deputy_check_index",
                             [index, count_expr], loc)
         return Decision(ObligationStatus.RUNTIME, ObligationKind.INDEX, check=check)
@@ -207,6 +218,9 @@ def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
                 and 0 <= index_const < bound_const):
             return Decision(ObligationStatus.STATIC, ObligationKind.INDEX,
                             detail=f"constant index {index_const} < {bound_const}")
+        if prove is not None and prove(index, facts.bound_hi):
+            return Decision(ObligationStatus.STATIC, ObligationKind.INDEX,
+                            detail="interval-bounded index")
         check = _check_call("__deputy_check_index", [index, facts.bound_hi], loc)
         return Decision(ObligationStatus.RUNTIME, ObligationKind.INDEX, check=check)
     if facts.kind is PointerKind.NULLTERM:
@@ -368,17 +382,20 @@ def check_program(program: Program,
                   options: DeputyOptions | None = None,
                   functions: list[str] | None = None,
                   env_cache: dict[str, TypeEnv] | None = None,
+                  facts: dict | None = None,
                   ) -> dict[str, FunctionCheckResult]:
     """Run the static checker over every function; no code is modified.
 
     Returns per-function results; the instrumenter performs the same analysis
     while also rewriting the tree.  ``functions`` restricts checking to a
-    subset of definitions (the engine's per-translation-unit sharding) and
-    ``env_cache`` shares per-function type environments across analyses.
+    subset of definitions (the engine's per-translation-unit sharding),
+    ``env_cache`` shares per-function type environments across analyses, and
+    ``facts`` supplies the solved per-function dataflow artifact whose
+    interval environments seed the loop-bound discharge.
     """
     from .instrument import DeputyInstrumenter
 
     instrumenter = DeputyInstrumenter(program, options or DeputyOptions(),
-                                      env_cache=env_cache)
+                                      env_cache=env_cache, facts=facts)
     instrumenter.run(rewrite=False, functions=functions)
     return instrumenter.results

@@ -19,6 +19,8 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass, field
 
+from ..dataflow.cfg import build_cfg
+from ..dataflow.domains import facts_of
 from ..machine.program import Program
 from ..minic import ast_nodes as ast
 from ..minic.ctypes import CPointer
@@ -69,6 +71,14 @@ class InstrumentationResult:
     def checks_elided(self) -> int:
         return self.total(ObligationStatus.ELIDED)
 
+    @property
+    def checks_interval(self) -> int:
+        """Static discharges owed to the interval domain specifically."""
+        return sum(1 for result in self.results.values()
+                   for obligation in result.obligations
+                   if obligation.status is ObligationStatus.STATIC
+                   and obligation.detail == "interval-bounded index")
+
 
 class DeputyInstrumenter:
     """Instrument every function of a program with Deputy run-time checks.
@@ -77,14 +87,27 @@ class DeputyInstrumenter:
     (the engine's symbol-table artifact); environments are looked up there
     first and stored back, so repeated analyses over the same program do not
     rebuild them.
+
+    ``facts`` is the engine's per-function dataflow artifact
+    (:class:`repro.dataflow.domains.FunctionFacts`, keyed by function name).
+    The instrumenter seeds each loop body's region cache with the solved
+    interval environment at the loop head, which is what lets the static
+    checker discharge ``i < n``-bounded index obligations instead of
+    emitting ``__deputy_check_index``.  When no table is supplied the facts
+    are solved on demand per function — like the other standalone checker
+    entry points, results match the artifact-fed engine run by
+    construction.
     """
 
     def __init__(self, program: Program, options: DeputyOptions | None = None,
-                 env_cache: dict[str, TypeEnv] | None = None) -> None:
+                 env_cache: dict[str, TypeEnv] | None = None,
+                 facts: dict | None = None) -> None:
         self.program = program
         self.options = options or DeputyOptions()
         self.results: dict[str, FunctionCheckResult] = {}
         self.env_cache = env_cache
+        self.facts = facts
+        self._facts_cache: dict = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -124,10 +147,38 @@ class DeputyInstrumenter:
             return
         env = self._env_for(func)
         worker = _FunctionInstrumenter(env, self.options, result, rewrite,
-                                       safe_names=_callee_immune_names(func))
+                                       safe_names=_callee_immune_names(func),
+                                       loop_ranges=self._loop_ranges(func))
         new_body = worker.stmt(func.body, worker.fresh_cache())
         if rewrite and isinstance(new_body, ast.Block):
             func.body = new_body
+
+    def _loop_ranges(self, func: ast.FuncDef) -> dict[int, tuple]:
+        """Solved interval environments at loop heads, keyed by ``id(stmt)``.
+
+        The structural walk cannot iterate a loop body to a fixpoint, so the
+        region caches import the CFG solver's widened/narrowed state at each
+        ``while``/``for`` condition block.  ``do``/``while`` is excluded: its
+        condition block follows the body, so its state is not the body's
+        entry state.
+        """
+        if self.facts is not None:
+            facts = self.facts.get(func.name)
+        else:
+            facts = facts_of(func, cache=self._facts_cache)
+        interval_envs = getattr(facts, "interval_envs", None)
+        if not interval_envs:
+            return {}
+        ranges: dict[int, tuple] = {}
+        for block in build_cfg(func).blocks:
+            element = block.condition_element()
+            if element is None or not isinstance(element.stmt,
+                                                 (ast.While, ast.For)):
+                continue
+            frozen = interval_envs.get(block.index)
+            if frozen:
+                ranges[id(element.stmt)] = frozen
+        return ranges
 
 
 def _function_is_trusted(func: ast.FuncDef) -> bool:
@@ -208,13 +259,15 @@ class _FunctionInstrumenter:
 
     def __init__(self, env: TypeEnv, options: DeputyOptions,
                  result: FunctionCheckResult, rewrite: bool,
-                 safe_names: frozenset[str] = frozenset()) -> None:
+                 safe_names: frozenset[str] = frozenset(),
+                 loop_ranges: dict[int, tuple] | None = None) -> None:
         self.env = env
         self.options = options
         self.result = result
         self.rewrite = rewrite
         self.in_trusted_block = 0
         self.safe_names = safe_names
+        self.loop_ranges = loop_ranges or {}
 
     def fresh_cache(self, enabled: bool | None = None) -> CheckCache:
         """A new region cache carrying this function's callee-immune names."""
@@ -305,6 +358,7 @@ class _FunctionInstrumenter:
         if isinstance(stmt, ast.While):
             cache.invalidate_all()
             body_cache = self.fresh_cache()
+            body_cache.seed_ranges(self.loop_ranges.get(id(stmt), ()))
             stmt.cond = self.expr(stmt.cond, body_cache)
             # Every iteration enters the body through the condition, so the
             # body may assume its truth facts (the region reset above keeps
@@ -325,8 +379,12 @@ class _FunctionInstrumenter:
                 self._instrument_initializer(stmt.init.init, cache)
             cache.invalidate_all()
             body_cache = self.fresh_cache()
+            body_cache.seed_ranges(self.loop_ranges.get(id(stmt), ()))
             if stmt.cond is not None:
                 stmt.cond = self.expr(stmt.cond, body_cache)
+                # The body only runs when the condition held, exactly as in
+                # the `while` case above.
+                body_cache = body_cache.fork(stmt.cond, branch_true=True)
             stmt.body = self.stmt(stmt.body, body_cache)
             if stmt.step is not None:
                 stmt.step = self.expr(stmt.step, body_cache)
@@ -405,7 +463,8 @@ class _FunctionInstrumenter:
             expr.index = self.expr(expr.index, cache)
             decision = decide_index(self.env, expr.base, expr.index,
                                     self.options, expr.location,
-                                    fold=cache.fold)
+                                    fold=cache.fold,
+                                    prove=cache.prove_index)
             check = self._record(decision, expr.location, cache)
             return self._wrap([check] if check else [], expr)
         if isinstance(expr, ast.Member):
@@ -507,7 +566,8 @@ class _FunctionInstrumenter:
             expr.index = self.expr(expr.index, cache)
             decision = decide_index(self.env, expr.base, expr.index,
                                     self.options, expr.location,
-                                    fold=cache.fold)
+                                    fold=cache.fold,
+                                    prove=cache.prove_index)
             check = self._record(decision, expr.location, cache)
             return expr, [check] if check else []
         if isinstance(expr, ast.Member):

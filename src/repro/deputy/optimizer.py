@@ -27,7 +27,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dataflow.consts import condition_facts, eval_const, transfer_expr
+from ..dataflow.consts import (
+    _has_side_effects,
+    condition_facts,
+    eval_const,
+    transfer_expr,
+)
+from ..dataflow.intervals import (
+    eval_interval,
+    interval_condition_facts,
+    join_interval,
+    transfer_interval_expr,
+)
 from ..dataflow.solver import INFEASIBLE
 from ..minic import ast_nodes as ast
 from ..minic.pretty import render_expression
@@ -56,6 +67,22 @@ class CheckCache:
     #: elision pass), and only ever for ``safe_names`` — storage no call or
     #: pointer store can write, so :meth:`invalidate_memory` leaves it alone.
     consts: dict[str, int] = field(default_factory=dict)
+    #: Known value ranges of callee-immune names: name -> ``(lo, hi)`` with
+    #: ``None`` bounds meaning ±∞ (:mod:`repro.dataflow.intervals`).  Seeded
+    #: from the CFG solve's loop-head interval environments and refined on
+    #: branch forks; like ``consts`` they feed checker precision, not the
+    #: elision pass, and are memory-immune by construction.
+    ranges: dict[str, tuple[int | None, int | None]] = field(default_factory=dict)
+    #: Symbolic strict upper bounds the region has *tested*: the true arm of
+    #: ``i < n`` records ``("i", "n") -> (names in the bound, bound reads
+    #: heap)``.  Unlike ``ranges`` these compare renderings, so they
+    #: discharge ``__deputy_check_index(i, n)`` even when neither side has a
+    #: numeric bound — the loop-guard shape the interval lattice alone
+    #: cannot close.  A guard dies with any write to the index, any write to
+    #: a bound name, and (for heap-reading or non-immune bounds) any store
+    #: or call.
+    guards: dict[tuple[str, str], tuple[frozenset[str], bool]] = field(
+        default_factory=dict)
 
     def key_of(self, check: ast.Expr) -> str:
         return render_expression(check)
@@ -78,6 +105,12 @@ class CheckCache:
     def invalidate_name(self, name: str) -> None:
         """A variable was written: drop every cached check that mentions it."""
         self.consts.pop(name, None)
+        self.ranges.pop(name, None)
+        if self.guards:
+            stale_guards = [key for key, (names, _) in self.guards.items()
+                            if key[0] == name or name in names]
+            for key in stale_guards:
+                del self.guards[key]
         if not self.enabled or not self._seen:
             return
         stale = [key for key, names in self._seen.items() if name in names]
@@ -97,6 +130,13 @@ class CheckCache:
         global or an address-taken local can be invalidated by a callee
         write, so it is dropped like everything else.
         """
+        if self.guards:
+            guard_safe = self.safe_names or frozenset()
+            stale_guards = [key for key, (names, reads_heap)
+                            in self.guards.items()
+                            if reads_heap or not names <= guard_safe]
+            for key in stale_guards:
+                del self.guards[key]
         if not self.enabled or not self._seen:
             return
         safe = self.safe_names or frozenset()
@@ -113,6 +153,8 @@ class CheckCache:
         self._seen.clear()
         self._heap_reads.clear()
         self.consts.clear()
+        self.ranges.clear()
+        self.guards.clear()
 
     def fork(self, cond: ast.Expr | None = None,
              branch_true: bool = True) -> "CheckCache":
@@ -127,11 +169,19 @@ class CheckCache:
         clone._seen = {k: set(v) for k, v in self._seen.items()}
         clone._heap_reads = set(self._heap_reads)
         clone.consts = dict(self.consts)
+        clone.ranges = dict(self.ranges)
+        clone.guards = dict(self.guards)
         if cond is not None:
-            facts = condition_facts(cond, branch_true, clone.consts,
-                                    self.safe_names or frozenset())
+            safe = self.safe_names or frozenset()
+            facts = condition_facts(cond, branch_true, clone.consts, safe)
             if facts is not INFEASIBLE:
                 clone.consts.update(facts)
+            interval_facts = interval_condition_facts(
+                cond, branch_true, clone.ranges, clone.consts, safe)
+            if interval_facts is not INFEASIBLE:
+                clone.ranges.update(interval_facts)
+            if not _has_side_effects(cond):
+                _record_guards(cond, branch_true, clone.guards, safe)
         return clone
 
     def joined(self, other: "CheckCache") -> "CheckCache":
@@ -147,6 +197,15 @@ class CheckCache:
                              & set(clone._seen))
         clone.consts = {name: value for name, value in self.consts.items()
                         if other.consts.get(name) == value}
+        clone.ranges = {
+            name: joined
+            for name, joined in ((name, join_interval(bounds,
+                                                      other.ranges[name]))
+                                 for name, bounds in self.ranges.items()
+                                 if name in other.ranges)
+            if joined != (None, None)}
+        clone.guards = {key: value for key, value in self.guards.items()
+                        if key in other.guards}
         return clone
 
     def fork_switch(self, scrutinee: ast.Expr,
@@ -173,9 +232,16 @@ class CheckCache:
         the soundness-critical rule that an assignment under ``&&``/``||``
         or a ternary arm only *may* execute and therefore joins instead of
         binding.
+
+        The interval transfer runs first, under the *pre*-update constant
+        bindings: ``i = i + 1`` must evaluate the right-hand ``i`` in the
+        state before the assignment, not after.
         """
-        self.consts = dict(
-            transfer_expr(self.consts, expr, self.safe_names or frozenset()))
+        safe = self.safe_names or frozenset()
+        pre_consts = self.consts
+        self.ranges = dict(
+            transfer_interval_expr(self.ranges, expr, safe, pre_consts))
+        self.consts = dict(transfer_expr(pre_consts, expr, safe))
 
     def bind_decl(self, name: str, init: ast.Expr | None) -> None:
         """A declaration bound ``name``: learn its folded initializer."""
@@ -189,6 +255,108 @@ class CheckCache:
             self.consts.pop(name, None)
         else:
             self.consts[name] = value
+
+    # -- interval facts ------------------------------------------------------
+
+    def seed_ranges(
+        self,
+        frozen_env: tuple[tuple[str, tuple[int | None, int | None]], ...],
+    ) -> None:
+        """Adopt a CFG solve's frozen interval environment (loop-head state).
+
+        The structural walk cannot iterate a loop body to a fixpoint, so at
+        loop heads it imports the widened/narrowed per-block state the CFG
+        solver already computed — e.g. ``i: [0, +inf]`` at the head of
+        ``for (i = 0; i < n; i++)``, the lower bound the index proof needs.
+        """
+        safe = self.safe_names or frozenset()
+        for name, bounds in frozen_env:
+            if name in safe:
+                self.ranges[name] = bounds
+
+    def prove_index(self, index: ast.Expr, bound: ast.Expr) -> bool:
+        """Whether this region proves ``0 <= index < bound``.
+
+        The lower bound always comes from the interval facts.  The strict
+        upper bound comes from either a recorded symbolic guard (the true
+        arm of ``i < n`` covers ``__deputy_check_index(i, n)`` by rendering
+        equality) or, when the bound folds to a literal constant, from the
+        index's numeric interval alone.
+        """
+        index = _strip_wrappers(index)
+        bound = _strip_wrappers(bound)
+        interval = eval_interval(index, self.ranges, self.consts)
+        lo, hi = interval
+        if lo is None or lo < 0:
+            return False
+        key = (render_expression(index), render_expression(bound))
+        if key in self.guards:
+            return True
+        bound_const = eval_const(bound, {})
+        return (bound_const is not None and hi is not None
+                and hi < bound_const)
+
+
+def _strip_wrappers(expr: ast.Expr) -> ast.Expr:
+    """Peel casts and comma sequences down to the value-producing core.
+
+    Instrumentation wraps expressions in check sequences —
+    ``(__deputy_check_ptr(buf, ...), buf->n)`` — whose value is the last
+    operand; guard recording and the index proof must compare the *cores*
+    so the loop guard's bound and the obligation's rebound count expression
+    render identically.
+    """
+    while True:
+        if isinstance(expr, ast.Cast):
+            expr = expr.expr
+        elif isinstance(expr, ast.Comma) and expr.exprs:
+            expr = expr.exprs[-1]
+        else:
+            return expr
+
+
+_NEGATED_COMPARISON = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+                       "==": "!=", "!=": "=="}
+
+
+def _record_guards(cond: ast.Expr, branch_true: bool,
+                   guards: dict[tuple[str, str], tuple[frozenset[str], bool]],
+                   safe: frozenset[str]) -> None:
+    """Record the strict upper bounds ``cond`` establishes on this edge.
+
+    Only the shapes that later match an index obligation by rendering are
+    kept: a strict ``index < bound`` (possibly spelled ``bound > index``,
+    negated, or nested under ``&&`` on the true edge / ``||`` on the false
+    edge) with a callee-immune identifier index.  Non-strict comparisons
+    (``i <= n``) establish no strict bound and are deliberately skipped —
+    that asymmetry is what keeps the off-by-one twin's check alive.
+    """
+    cond = _strip_wrappers(cond)
+    if isinstance(cond, ast.Unary) and cond.op == "!":
+        _record_guards(cond.operand, not branch_true, guards, safe)
+        return
+    if isinstance(cond, ast.Binary):
+        if cond.op == "&&" and branch_true:
+            _record_guards(cond.left, True, guards, safe)
+            _record_guards(cond.right, True, guards, safe)
+            return
+        if cond.op == "||" and not branch_true:
+            _record_guards(cond.left, False, guards, safe)
+            _record_guards(cond.right, False, guards, safe)
+            return
+        if cond.op not in _NEGATED_COMPARISON:
+            return
+        op = cond.op if branch_true else _NEGATED_COMPARISON[cond.op]
+        left = _strip_wrappers(cond.left)
+        right = _strip_wrappers(cond.right)
+        if op == ">":
+            op, left, right = "<", right, left
+        if op != "<" or not isinstance(left, ast.Ident) or left.name not in safe:
+            return
+        names = frozenset(node.name for node in walk(right)
+                          if isinstance(node, ast.Ident))
+        guards[(left.name, render_expression(right))] = (names,
+                                                         _reads_heap(right))
 
 
 def _reads_heap(check: ast.Expr) -> bool:

@@ -31,6 +31,7 @@ class ConversionReport:
     trusted_casts: int = 0
     checks_inserted: int = 0
     checks_static: int = 0
+    checks_interval: int = 0
     checks_elided: int = 0
     check_errors: int = 0
     functions_converted: int = 0
@@ -65,6 +66,7 @@ class ConversionReport:
             ("trusted casts", str(self.trusted_casts)),
             ("run-time checks inserted", str(self.checks_inserted)),
             ("obligations proven statically", str(self.checks_static)),
+            ("  of which interval-bounded", str(self.checks_interval)),
             ("redundant checks elided", str(self.checks_elided)),
             ("static errors outstanding", str(self.check_errors)),
         ]
@@ -156,6 +158,7 @@ def build_report(program: Program,
     if instrumentation is not None:
         report.checks_inserted = instrumentation.checks_inserted
         report.checks_static = instrumentation.checks_static
+        report.checks_interval = instrumentation.checks_interval
         report.checks_elided = instrumentation.checks_elided
         report.check_errors = len(instrumentation.errors)
     return report

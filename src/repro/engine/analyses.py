@@ -25,15 +25,15 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..analyses.errcheck import analyse_error_checks
+from ..analyses.errcheck import check_error_returns
 from ..analyses.lockcheck import (
     LockAcquisition,
     LockLeak,
-    collect_lock_facts,
+    check_locks,
     derive_report,
 )
 from ..analyses.stackcheck import analyse_stack
-from ..blockstop.checker import run_blockstop
+from ..blockstop.checker import check_blockstop
 from ..blockstop.runtime_checks import RuntimeCheckSet
 from ..ccount.delayed_free import (
     count_delayed_scopes_in,
@@ -42,12 +42,36 @@ from ..ccount.delayed_free import (
 )
 from ..ccount.instrument import CCountInstrumenter
 from ..ccount.typeinfo import build_typeinfo
+from ..dataflow.context import AnalysisContext
 from ..deputy.checker import DeputyOptions, ObligationStatus, check_program
 from ..minic import ast_nodes as minic_ast
 from ..minic.errors import SourceLocation
 from .artifacts import SharedArtifacts
 
 Finding = dict  # normalized: analysis, kind, function, file, line, message
+
+
+def analysis_context(artifacts: SharedArtifacts,
+                     functions: list[str] | None = None) -> AnalysisContext:
+    """The one :class:`AnalysisContext` bundle a shard's checker consumes.
+
+    Every checker adapter derives its context here, so the mapping from
+    the engine's ``SharedArtifacts`` to the checkers' shared-context API
+    lives in exactly one place.
+    """
+    return AnalysisContext(
+        program=artifacts.program,
+        type_envs=artifacts.type_envs,
+        call_graph=artifacts.graph,
+        summaries=artifacts.summaries,
+        facts=artifacts.consts,
+        functions=functions,
+        extras={
+            "blocking": artifacts.blocking,
+            "irq_handlers": artifacts.irq_handlers,
+            "error_returning": artifacts.error_returning,
+        },
+    )
 
 
 def make_finding(analysis: str, kind: str, function: str, location: Any,
@@ -122,9 +146,11 @@ class DeputyAnalysis(EngineAnalysis):
         self.options = options or DeputyOptions()
 
     def run_shard(self, artifacts, functions):
-        results = check_program(artifacts.program, self.options,
-                                functions=functions,
-                                env_cache=artifacts.type_envs)
+        ctx = analysis_context(artifacts, functions)
+        results = check_program(ctx.program, self.options,
+                                functions=ctx.functions,
+                                env_cache=ctx.type_envs,
+                                facts=ctx.facts)
         payload = {"functions": {}, "findings": []}
         for name, result in results.items():
             payload["functions"][name] = {
@@ -169,13 +195,9 @@ class BlockStopAnalysis(EngineAnalysis):
         self.runtime_checks = runtime_checks
 
     def run_shard(self, artifacts, functions):
-        result = run_blockstop(artifacts.program, artifacts.precision,
-                               runtime_checks=self.runtime_checks,
-                               graph=artifacts.graph,
-                               blocking=artifacts.blocking,
-                               irq_handlers=artifacts.irq_handlers,
-                               summaries=artifacts.summaries,
-                               consts=artifacts.consts)
+        result = check_blockstop(analysis_context(artifacts, functions),
+                                 artifacts.precision,
+                                 runtime_checks=self.runtime_checks)
         findings = [make_finding(self.name, "blocking-in-atomic-context",
                                  violation.caller, violation.location,
                                  violation.describe())
@@ -214,10 +236,7 @@ class ErrcheckAnalysis(EngineAnalysis):
         return hashlib.sha256(joined.encode()).hexdigest()[:32]
 
     def run_shard(self, artifacts, functions):
-        report = analyse_error_checks(artifacts.program,
-                                      error_returning=artifacts.error_returning,
-                                      functions=functions,
-                                      consts=artifacts.consts)
+        report = check_error_returns(analysis_context(artifacts, functions))
         findings = [make_finding(self.name, "unchecked-error-return",
                                  call.caller, call.location,
                                  f"result of {call.callee}() {call.reason}")
@@ -268,9 +287,7 @@ class LockcheckAnalysis(EngineAnalysis):
             via_callee=raw.get("via_callee", ""))
 
     def run_shard(self, artifacts, functions):
-        facts = collect_lock_facts(artifacts.program, functions=functions,
-                                   summaries=artifacts.summaries,
-                                   consts=artifacts.consts)
+        facts = check_locks(analysis_context(artifacts, functions))
         return {
             "acquisitions": [self._acq_payload(acq)
                              for acq in facts.acquisitions],

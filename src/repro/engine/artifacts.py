@@ -27,7 +27,7 @@ from ..blockstop.blocking import BlockingInfo, derive_blocking
 from ..blockstop.callgraph import CallGraph, build_direct_callgraph
 from ..blockstop.checker import find_irq_handlers
 from ..blockstop.pointsto import FunctionPointerAnalysis, PointsToResult, Precision
-from ..dataflow.consts import FunctionConsts, solve_program_consts
+from ..dataflow.domains import FunctionFacts, solve_program_facts
 from ..dataflow.interproc import Condensation, condense_callgraph, solve_summaries
 from ..dataflow.summaries import FunctionSummary
 from ..deputy.typesystem import TypeEnv
@@ -203,10 +203,11 @@ class SharedArtifacts:
     * ``annotations`` — merged definition+prototype annotations per function;
     * ``graph``/``pointsto`` — the direct call graph with points-to-resolved
       indirect edges for the chosen precision;
-    * ``consts`` — per-function constant-propagation facts with branch-edge
-      refinement (:mod:`repro.dataflow.consts`): condition facts per CFG
-      edge plus the infeasible-edge set every condition-aware solve prunes
-      with; ``None`` entries mark branchless functions;
+    * ``consts`` — per-function condition facts: the consts×intervals
+      reduced product (:mod:`repro.dataflow.domains`) with branch-edge
+      refinement — constant and interval environments per CFG block plus
+      the infeasible-edge set every condition-aware solve prunes with;
+      ``None`` entries mark branchless functions;
     * ``condensation`` — the SCC condensation of that graph, in bottom-up
       (reverse-topological) order, with its parallel-scheduling waves;
     * ``summaries`` — one interprocedural :class:`FunctionSummary` per
@@ -224,7 +225,7 @@ class SharedArtifacts:
     precision: Precision
     graph: CallGraph
     pointsto: PointsToResult
-    consts: dict[str, FunctionConsts | None]
+    consts: dict[str, FunctionFacts | None]
     condensation: Condensation
     summaries: dict[str, FunctionSummary]
     blocking: BlockingInfo
@@ -277,7 +278,7 @@ def build_shared_artifacts(program: Program,
     if consts_solver is not None:
         consts = consts_solver(program)
     else:
-        consts = solve_program_consts(program)
+        consts = solve_program_facts(program)
 
     condensation = condense_callgraph(graph)
     if summary_solver is not None:

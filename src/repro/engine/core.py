@@ -20,7 +20,11 @@ from typing import Iterable
 
 from ..blockstop.pointsto import Precision
 from ..blockstop.runtime_checks import RuntimeCheckSet
-from ..dataflow.consts import solve_program_consts
+from ..dataflow.domains import (
+    DEFAULT_DOMAINS,
+    domain_fingerprint,
+    solve_program_facts,
+)
 from ..dataflow.interproc import (
     build_context,
     callgraph_fingerprint,
@@ -77,9 +81,9 @@ def _solve_scc_task(task: "tuple[tuple[str, ...], dict]") -> dict:
 
 
 def _solve_consts_task(functions: "list[str]") -> dict:
-    """Solve one translation unit's constant facts in a worker."""
+    """Solve one translation unit's condition facts in a worker."""
     assert _CONSTS_CONTEXT is not None, "consts context not initialised"
-    return solve_program_consts(_CONSTS_CONTEXT, functions)
+    return solve_program_facts(_CONSTS_CONTEXT, functions)
 
 
 @dataclass
@@ -170,6 +174,13 @@ class EngineReport:
                     edges=self.summary_stats.get("consts_infeasible_edges", 0),
                     cache="hit" if self.summary_stats.get("consts_cache_hit")
                     else "miss"))
+            lines.append(
+                "intervals: {pruned} functions with interval-only pruning "
+                "({edges} edges pruned)".format(
+                    pruned=self.summary_stats.get(
+                        "intervals_pruned_functions", 0),
+                    edges=self.summary_stats.get(
+                        "intervals_infeasible_edges", 0)))
         for name in sorted(self.analyses):
             report = self.analyses[name]
             lines.append("")
@@ -293,17 +304,20 @@ class AnalysisEngine:
             persist=False)
 
     def _solve_consts(self, program, jobs: int):
-        """The cache-aware constant-facts solver injected into the build.
+        """The cache-aware condition-facts solver injected into the build.
 
         The artifact depends only on the parsed sources (files + defines +
-        package version), not on points-to precision, so engines at
-        different precisions share one entry.  Functions are independent,
-        so ``--jobs N`` shards the solve by translation unit over the fork
-        pool; the merge re-orders results into program function order,
-        making serial and parallel artifacts byte-identical.
+        package version) and the abstract-domain set, not on points-to
+        precision, so engines at different precisions share one entry —
+        while flipping the domain product (the ``domains`` salt) invalidates
+        persisted facts instead of misreading them.  Functions are
+        independent, so ``--jobs N`` shards the solve by translation unit
+        over the fork pool; the merge re-orders results into program
+        function order, making serial and parallel artifacts byte-identical.
         """
         key = self.cache.content_key(
-            "consts", files=self.files, defines=self.defines)
+            "consts", files=self.files, defines=self.defines,
+            extra={"domains": domain_fingerprint(DEFAULT_DOMAINS)})
         self._consts_cache_hit = self.cache.contains(key)
 
         def build():
@@ -321,7 +335,7 @@ class AnalysisEngine:
         use_parallel = (jobs > 1 and len(unit_map) > 1
                         and "fork" in multiprocessing.get_all_start_methods())
         if not use_parallel:
-            return solve_program_consts(program)
+            return solve_program_facts(program)
         _CONSTS_CONTEXT = program
         try:
             context = multiprocessing.get_context("fork")
@@ -394,15 +408,19 @@ class AnalysisEngine:
     def summary_stats(self, artifacts: SharedArtifacts) -> dict:
         """Condensation/summary metrics for the report (and the CI bench).
 
-        The ``consts_*`` entries describe the constant-facts artifact:
-        function coverage, how many functions had at least one infeasible
-        edge, and the total infeasible-edge count — all pure functions of
-        the sources, so serial and parallel reports agree byte-for-byte
-        (the wall-clock solve time lives in ``cache_stats``, which report
-        comparisons already normalize away).
+        The ``consts_*`` / ``intervals_*`` entries describe the condition
+        facts artifact (the consts×intervals product): function coverage,
+        how many functions each component pruned, and the per-component
+        infeasible-edge counts — each pruned edge is attributed to exactly
+        one component (the constant lattice first, the interval lattice for
+        edges only it proves dead), so the two edge counters sum to the
+        total.  All pure functions of the sources, so serial and parallel
+        reports agree byte-for-byte (the wall-clock solve time lives in
+        ``cache_stats``, which report comparisons already normalize away).
         """
         condensation = artifacts.condensation
         solved = [fc for fc in artifacts.consts.values() if fc is not None]
+        interval_edges = sum(len(fc.interval_pruned) for fc in solved)
         return {
             "functions": len(artifacts.summaries),
             "sccs": len(condensation.sccs),
@@ -413,11 +431,15 @@ class AnalysisEngine:
             "cache_hit": (True if self._summary_cache_hit is None
                           else self._summary_cache_hit),
             "consts_functions": len(solved),
-            "consts_pruned_functions": sum(1 for fc in solved if fc.prunes),
-            "consts_infeasible_edges": sum(len(fc.infeasible)
-                                           for fc in solved),
+            "consts_pruned_functions": sum(
+                1 for fc in solved if len(fc.infeasible) > len(fc.interval_pruned)),
+            "consts_infeasible_edges": (sum(len(fc.infeasible)
+                                            for fc in solved) - interval_edges),
             "consts_cache_hit": (True if self._consts_cache_hit is None
                                  else self._consts_cache_hit),
+            "intervals_pruned_functions": sum(
+                1 for fc in solved if fc.interval_pruned),
+            "intervals_infeasible_edges": interval_edges,
         }
 
     # -- running ------------------------------------------------------------

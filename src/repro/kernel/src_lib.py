@@ -252,6 +252,44 @@ unsigned int checksum_bytes(char * count(n) data, unsigned int n)
     return sum;
 }
 
+/* A counted sample buffer: the canonical field-relative count(n) shape.
+ * sum_samples walks it with the idiomatic i < buf->n guard, which the
+ * interval layer discharges statically; sum_samples_overrun is its
+ * off-by-one twin (i <= buf->n) and must keep its run-time index check;
+ * get_sample guards a single access with an explicit range test. */
+struct sample_buf {
+    int n;
+    int * count(n) a;
+};
+
+int sum_samples(struct sample_buf *buf nonnull)
+{
+    int s = 0;
+    int i;
+    for (i = 0; i < buf->n; i = i + 1) {
+        s = s + buf->a[i];
+    }
+    return s;
+}
+
+int sum_samples_overrun(struct sample_buf *buf nonnull)
+{
+    int s = 0;
+    int i;
+    for (i = 0; i <= buf->n; i = i + 1) {
+        s = s + buf->a[i];
+    }
+    return s;
+}
+
+int get_sample(struct sample_buf *buf nonnull, int i)
+{
+    if (i >= 0 && i < buf->n) {
+        return buf->a[i];
+    }
+    return -EINVAL;
+}
+
 /* Error-pointer helpers (include/linux/err.h). */
 int IS_ERR_VALUE(long value)
 {

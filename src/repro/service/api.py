@@ -6,6 +6,12 @@ Endpoints (all JSON, UTF-8, sorted keys):
   first analysis pass has published a snapshot, 200 afterwards.
 * ``GET /findings`` — every finding of the current snapshot, batch-identical
   with ``repro-engine run --json``; ``?checker=`` and ``?function=`` filter.
+  ``?since=<revision>`` switches to delta form: ``added``/``removed``
+  relative to that past revision (``delta_base``), falling back to the full
+  list with ``"delta_base": null`` when the revision has aged out of the
+  service's history window.
+* ``GET /findings/by-file/<tu>`` — the current findings of one translation
+  unit (``<tu>`` is the corpus filename and may contain slashes).
 * ``GET /summaries/<function>`` — one function's interprocedural summary
   (the CLI callgraph payload) plus its SCC membership; 404 when unknown.
 * ``GET /stats`` — service counters plus the last pass's incremental stats.
@@ -58,6 +64,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         query = parse_qs(parsed.query)
         if route == "/health":
             self._health()
+        elif route.startswith("/findings/by-file/"):
+            self._findings_by_file(route[len("/findings/by-file/"):])
         elif route == "/findings":
             self._findings(query)
         elif route.startswith("/summaries/"):
@@ -67,6 +75,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._reply(404, {"error": f"unknown endpoint {route!r}",
                               "endpoints": ["/health", "/findings",
+                                            "/findings/by-file/<tu>",
                                             "/summaries/<function>",
                                             "/stats", "POST /analyze"]})
 
@@ -105,7 +114,61 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             findings = [f for f in findings if f["analysis"] == checker]
         if function is not None:
             findings = [f for f in findings if f["function"] == function]
+        since = query.get("since", [None])[0]
+        if since is not None:
+            self._findings_delta(snapshot, findings, since, checker, function)
+            return
         self._reply(200, {"revision": snapshot.revision,
+                          "count": len(findings),
+                          "findings": findings})
+
+    def _findings_delta(self, snapshot, findings: list, since: str,
+                        checker, function) -> None:
+        """Delta form of ``/findings``: what changed since a past revision.
+
+        An unparsable or aged-out ``since`` degrades to the full list with
+        ``delta_base: null`` — clients resynchronize from it and resume
+        polling with the new revision.
+        """
+        try:
+            base_revision = int(since)
+        except ValueError:
+            base_revision = None
+        base = (self.service.findings_at(base_revision)
+                if base_revision is not None else None)
+        if base is None:
+            self._reply(200, {"revision": snapshot.revision,
+                              "delta_base": None,
+                              "count": len(findings),
+                              "findings": findings})
+            return
+        if checker is not None:
+            base = [f for f in base if f["analysis"] == checker]
+        if function is not None:
+            base = [f for f in base if f["function"] == function]
+
+        def key(finding: dict) -> str:
+            return json.dumps(finding, sort_keys=True)
+
+        base_keys = {key(f) for f in base}
+        current_keys = {key(f) for f in findings}
+        added = [f for f in findings if key(f) not in base_keys]
+        removed = [f for f in base if key(f) not in current_keys]
+        self._reply(200, {"revision": snapshot.revision,
+                          "delta_base": base_revision,
+                          "count": len(findings),
+                          "added": added,
+                          "removed": removed})
+
+    def _findings_by_file(self, filename: str) -> None:
+        snapshot = self.service.snapshot
+        if snapshot is None:
+            self._reply(503, {"status": "starting"})
+            return
+        findings = [f for f in snapshot.report.all_findings()
+                    if f["file"] == filename]
+        self._reply(200, {"revision": snapshot.revision,
+                          "file": filename,
                           "count": len(findings),
                           "findings": findings})
 

@@ -36,6 +36,12 @@ class Snapshot:
     created: float
 
 
+#: How many past revisions' findings the service retains for ``?since=``
+#: delta queries.  Old entries age out oldest-first; a ``since`` older than
+#: the window degrades to a full (non-delta) response.
+FINDINGS_HISTORY_LIMIT = 32
+
+
 class AnalysisService:
     """Drive incremental re-analysis of a corpus and publish snapshots."""
 
@@ -62,6 +68,9 @@ class AnalysisService:
                         "dirty_sccs": 0, "sccs_reused": 0,
                         "shards_rerun": 0, "shards_reused": 0,
                         "full_reparses": 0}
+        #: revision -> that pass's findings, for ``GET /findings?since=``.
+        #: Insertion-ordered; trimmed to FINDINGS_HISTORY_LIMIT entries.
+        self._findings_history: dict[int, list[dict]] = {}
         self.watcher = (CorpusWatcher(self.corpus_dir, self.reconcile,
                                       poll_seconds=poll_seconds,
                                       debounce_seconds=debounce_seconds)
@@ -88,11 +97,20 @@ class AnalysisService:
                 self._totals[key] += getattr(stats, key)
             if stats.full_reparse:
                 self._totals["full_reparses"] += 1
+            self._findings_history[snapshot.revision] = (
+                snapshot.report.all_findings())
+            while len(self._findings_history) > FINDINGS_HISTORY_LIMIT:
+                oldest = next(iter(self._findings_history))
+                del self._findings_history[oldest]
             # Publishing is one attribute store: concurrent readers see
             # either the old snapshot or the new one, never a mixture.
             self.snapshot = snapshot
             self.passes += 1
             return snapshot
+
+    def findings_at(self, revision: int) -> list[dict] | None:
+        """The findings published at ``revision``, if still in the window."""
+        return self._findings_history.get(revision)
 
     def start(self) -> None:
         """Kick off the initial pass (in the background) and the watcher."""

@@ -53,7 +53,7 @@ from ..blockstop.blocking import derive_blocking
 from ..blockstop.callgraph import build_direct_callgraph
 from ..blockstop.checker import find_irq_handlers
 from ..blockstop.pointsto import FunctionPointerAnalysis, Precision
-from ..dataflow.consts import consts_of
+from ..dataflow.domains import DEFAULT_DOMAINS, domain_fingerprint, facts_of
 from ..dataflow.interproc import (
     callgraph_fingerprint,
     condense_callgraph,
@@ -215,8 +215,8 @@ class IncrementalAnalyzer:
         self._preprocessor: Preprocessor | None = None
         self._records: list[_UnitRecord] = []
         self._last_good: dict[str, CorpusFile] = {}
-        #: function name -> ((body hash, globals fp), FunctionConsts | None)
-        self._consts_store: dict[str, tuple[tuple[str, str], object]] = {}
+        #: function name -> ((body hash, globals fp, domains), facts | None)
+        self._consts_store: dict[str, tuple[tuple[str, str, str], object]] = {}
         #: SCC Merkle key -> solved {name: FunctionSummary} for the component
         self._scc_store: dict[str, dict] = {}
         #: shard key -> run_shard payload dict
@@ -590,15 +590,16 @@ class IncrementalAnalyzer:
                       sem_hashes: dict[str, str],
                       stats: IncrementalStats) -> dict:
         consts: dict = {}
-        store: dict[str, tuple[tuple[str, str], object]] = {}
+        store: dict[str, tuple[tuple[str, str, str], object]] = {}
+        domains = domain_fingerprint(DEFAULT_DOMAINS)
         for name, func in program.functions_subset(None):
-            key = (sem_hashes[name], globals_fp)
+            key = (sem_hashes[name], globals_fp, domains)
             cached = self._consts_store.get(name)
             if cached is not None and cached[0] == key:
                 value = cached[1]
                 stats.consts_reused += 1
             else:
-                value = consts_of(func)
+                value = facts_of(func)
                 stats.consts_solved += 1
             consts[name] = value
             store[name] = (key, value)
@@ -740,6 +741,7 @@ class IncrementalAnalyzer:
             report.analyses["diagnostics"] = diagnostics_report(diagnostics)
 
         solved_consts = [fc for fc in consts.values() if fc is not None]
+        interval_edges = sum(len(fc.interval_pruned) for fc in solved_consts)
         report.summary_stats = {
             "functions": len(summaries),
             "sccs": len(condensation.sccs),
@@ -748,10 +750,16 @@ class IncrementalAnalyzer:
             "recursive_functions": len(condensation.recursive_functions()),
             "cache_hit": stats.dirty_sccs == 0,
             "consts_functions": len(solved_consts),
-            "consts_pruned_functions": sum(1 for fc in solved_consts if fc.prunes),
-            "consts_infeasible_edges": sum(len(fc.infeasible)
-                                           for fc in solved_consts),
+            "consts_pruned_functions": sum(
+                1 for fc in solved_consts
+                if len(fc.infeasible) > len(fc.interval_pruned)),
+            "consts_infeasible_edges": (sum(len(fc.infeasible)
+                                            for fc in solved_consts)
+                                        - interval_edges),
             "consts_cache_hit": stats.consts_solved == 0,
+            "intervals_pruned_functions": sum(
+                1 for fc in solved_consts if fc.interval_pruned),
+            "intervals_infeasible_edges": interval_edges,
         }
         report.cache_stats = {
             "hits": stats.consts_reused + stats.sccs_reused + stats.shards_reused,

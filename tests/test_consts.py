@@ -21,6 +21,7 @@ from repro.dataflow.consts import (
     trackable_names,
     transfer_expr,
 )
+from repro.dataflow.domains import solve_program_facts
 from repro.deputy.checker import ObligationKind, ObligationStatus, check_program
 from repro.engine.cli import main as cli_main
 from repro.engine.core import AnalysisEngine
@@ -628,7 +629,7 @@ class TestEngineConstsArtifact:
             pytest.skip("fork start method unavailable")
         engine = AnalysisEngine()
         program = engine.program()
-        serial = solve_program_consts(program)
+        serial = solve_program_facts(program)
         parallel = engine._compute_consts(program, jobs=3)
         assert parallel == serial
         assert list(parallel) == list(serial)   # merge order identical too

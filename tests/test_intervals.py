@@ -1,0 +1,437 @@
+"""The interval abstract domain: lattice operations, widening/narrowing
+termination, the consts×intervals reduced product behind the domain
+protocol, and the Deputy loop-bound discharge it enables."""
+
+import pytest
+
+from repro.dataflow import build_cfg
+from repro.dataflow.domains import (
+    DEFAULT_DOMAINS,
+    DOMAIN_REGISTRY,
+    FunctionFacts,
+    domain_fingerprint,
+    facts_of,
+    solve_function_facts,
+    solve_program_facts,
+)
+from repro.dataflow.intervals import (
+    TOP,
+    eval_interval,
+    interval_condition_facts,
+    join_interval,
+    join_interval_envs,
+    meet_interval,
+    narrow_interval_envs,
+    widen_interval,
+    widen_interval_envs,
+)
+from repro.dataflow.solver import INFEASIBLE, FixpointDivergence
+from repro.deputy.checker import (
+    DeputyOptions,
+    ObligationKind,
+    ObligationStatus,
+    check_program,
+)
+from repro.kernel.build import parse_corpus
+from repro.kernel.corpus import CorpusFile
+from repro.minic.parser import parse_expression
+
+
+def parse(source: str, filename: str = "test.c"):
+    return parse_corpus((CorpusFile(filename, source),))
+
+
+def solve(source: str, name: str = "f") -> FunctionFacts:
+    program = parse(source)
+    facts = solve_function_facts(program.functions[name])
+    assert facts is not None
+    return facts
+
+
+def expr(text: str):
+    return parse_expression(text)
+
+
+# ---------------------------------------------------------------------------
+# Lattice operations
+# ---------------------------------------------------------------------------
+
+class TestIntervalLattice:
+    def test_join_is_hull(self):
+        assert join_interval((0, 3), (5, 9)) == (0, 9)
+        assert join_interval((None, 3), (5, 9)) == (None, 9)
+        assert join_interval((0, None), (5, 9)) == (0, None)
+        assert join_interval(TOP, (1, 2)) == TOP
+
+    def test_meet_intersects(self):
+        assert meet_interval((0, 10), (5, 20)) == (5, 10)
+        assert meet_interval((None, 10), (5, None)) == (5, 10)
+        assert meet_interval(TOP, (1, 2)) == (1, 2)
+
+    def test_meet_of_disjoint_is_empty(self):
+        assert meet_interval((0, 3), (5, 9)) is None
+
+    def test_widen_drops_unstable_bounds(self):
+        # The previous iterate's stable bound survives; a moving bound
+        # widens to infinity on its moving side only.
+        assert widen_interval((0, 1), (0, 2)) == (0, None)
+        assert widen_interval((3, 9), (1, 9)) == (None, 9)
+        assert widen_interval((0, 5), (0, 5)) == (0, 5)
+
+    def test_env_widening_shrinks_name_set_monotonically(self):
+        old = {"i": (0, 1), "j": TOP}
+        new = {"i": (0, 2), "k": (1, 1)}
+        widened = widen_interval_envs(old, new)
+        # 'k' is absent from the old env (top there), 'j' was already top:
+        # neither may reappear, so repeated widening strictly shrinks.
+        assert widened == {"i": (0, None)}
+
+    def test_env_join_drops_one_sided_names(self):
+        joined = join_interval_envs({"i": (0, 1)}, {"j": (2, 3)})
+        assert joined == {}
+
+    def test_narrow_refills_only_widened_bounds(self):
+        # Narrowing may recover a bound widening threw to infinity, but must
+        # never move a finite bound (that could oscillate forever).
+        assert narrow_interval_envs({"i": (0, None)}, {"i": (0, 10)}) == \
+            {"i": (0, 10)}
+        assert narrow_interval_envs({"i": (0, 5)}, {"i": (0, 3)}) == \
+            {"i": (0, 5)}
+
+
+class TestEvalInterval:
+    @pytest.mark.parametrize("text, env, expected", [
+        ("i", {"i": (0, 5)}, (0, 5)),
+        ("i + 1", {"i": (0, 5)}, (1, 6)),
+        ("i - 2", {"i": (0, 5)}, (-2, 3)),
+        ("-i", {"i": (0, 5)}, (-5, 0)),
+        ("i * 2", {"i": (1, 3)}, (2, 6)),
+        ("3", {}, (3, 3)),
+        ("i < 10", {"i": (0, 5)}, (1, 1)),
+        ("i < 3", {"i": (5, 9)}, (0, 0)),
+        ("i < 3", {"i": (0, 9)}, (0, 1)),
+    ])
+    def test_arithmetic_and_comparisons(self, text, env, expected):
+        assert eval_interval(expr(text), env, {}) == expected
+
+    def test_unknown_name_is_top(self):
+        assert eval_interval(expr("x + 1"), {}, {}) == TOP
+
+    def test_const_binding_refines(self):
+        # The reduction with the constant lattice: a const binding is the
+        # point interval even when the interval env knows nothing.
+        assert eval_interval(expr("k"), {}, {"k": 7}) == (7, 7)
+
+    def test_condition_facts_relational_effect(self):
+        # The true edge of i < n teaches the *bound* something: n > i >= 0.
+        facts = interval_condition_facts(expr("i < n"), True,
+                                         {"i": (0, None), "n": TOP},
+                                         {}, frozenset({"i", "n"}))
+        assert facts is not INFEASIBLE
+        assert facts["n"] == (1, None)
+
+    def test_condition_facts_bound_index(self):
+        facts = interval_condition_facts(expr("i < n"), True,
+                                         {"n": (0, 10)},
+                                         {}, frozenset({"i", "n"}))
+        assert facts is not INFEASIBLE
+        assert facts["i"] == (None, 9)
+
+    def test_contradicted_condition_is_infeasible(self):
+        facts = interval_condition_facts(expr("i < 0"), True,
+                                         {"i": (0, None)}, {},
+                                         frozenset({"i"}))
+        assert facts is INFEASIBLE
+
+
+# ---------------------------------------------------------------------------
+# Widening termination
+# ---------------------------------------------------------------------------
+
+class TestWideningTermination:
+    """Loops that diverge without widening must reach a fixpoint within the
+    solver's bounded visit budget — no FixpointDivergence."""
+
+    def test_simple_counting_loop(self):
+        facts = solve("""
+        int f(int n) {
+            int i;
+            int s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        """)
+        envs = {dict(env).get("i") for env in facts.interval_envs.values()}
+        assert any(bounds and bounds[0] == 0 for bounds in envs if bounds)
+
+    def test_nested_loops(self):
+        solve("""
+        int f(int n, int m) {
+            int i;
+            int j;
+            int s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                for (j = 0; j < m; j = j + 1) {
+                    s = s + i * j;
+                }
+            }
+            return s;
+        }
+        """)
+
+    def test_while_one_with_break(self):
+        program = parse("""
+        int f(void) {
+            int i = 0;
+            while (1) {
+                if (i >= 100) { break; }
+                i = i + 1;
+            }
+            return i;
+        }
+        """)
+        func = program.functions["f"]
+        facts = solve_function_facts(func)
+        envs = [dict(env) for env in facts.interval_envs.values()]
+        # Narrowing recovers the loop head's exact range from the back
+        # edge, and the break edge's refinement pins the exit value; the
+        # exit block itself may retain a widened bound (narrowing runs a
+        # bounded number of rounds), which is sound, just less precise.
+        assert {"i": (0, 100)} in envs    # loop head
+        assert {"i": (100, 100)} in envs  # break arm
+        exit_env = dict(facts.interval_envs.get(build_cfg(func).exit, ()))
+        assert exit_env.get("i", TOP)[0] == 100
+
+    def test_decrementing_loop(self):
+        facts = solve("""
+        int f(void) {
+            int i = 10;
+            int s = 0;
+            while (i > 0) {
+                s = s + i;
+                i = i - 1;
+            }
+            return s;
+        }
+        """)
+        envs = [dict(env) for env in facts.interval_envs.values()]
+        assert any(env.get("i") == (0, 10) for env in envs)
+
+    def test_mutual_recursion_scc(self):
+        # Intraprocedural solves are per function; the SCC just means both
+        # members solve independently under the same bounded budget.
+        program = parse("""
+        int is_odd(int n);
+        int is_even(int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) { }
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        """)
+        for name in ("is_even", "is_odd"):
+            assert solve_function_facts(program.functions[name]) is not None
+
+    def test_no_divergence_on_two_counter_chase(self):
+        # i chases j; both move every iteration.  Without widening this
+        # ping-pongs forever.
+        try:
+            solve("""
+            int f(int n) {
+                int i = 0;
+                int j = 1;
+                while (i < n) {
+                    i = i + 1;
+                    j = j + 2;
+                }
+                return i + j;
+            }
+            """)
+        except FixpointDivergence as exc:  # pragma: no cover - regression
+            pytest.fail(f"widening failed to terminate: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# The product solve and the domain protocol
+# ---------------------------------------------------------------------------
+
+class TestProductSolve:
+    def test_facts_is_a_function_consts(self):
+        from repro.dataflow.consts import FunctionConsts
+
+        facts = solve("int f(int n) { if (n) { return 1; } return 0; }")
+        assert isinstance(facts, FunctionConsts)
+        assert facts.domains == DEFAULT_DOMAINS
+
+    def test_interval_only_prune_attributed(self):
+        # i >= 0 comes only from the interval lattice (the constant lattice
+        # cannot represent a range), so the dead negative branch is an
+        # interval-attributed prune.
+        facts = solve("""
+        int f(int n) {
+            int i;
+            int s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                if (i < 0) { s = -1; }
+            }
+            return s;
+        }
+        """)
+        assert facts.interval_pruned
+        assert facts.interval_pruned <= facts.infeasible
+
+    def test_consts_prune_not_attributed_to_intervals(self):
+        facts = solve("""
+        int f(void) {
+            int k = 0;
+            if (k) { return 1; }
+            return 0;
+        }
+        """)
+        assert facts.infeasible
+        assert not facts.interval_pruned
+
+    def test_registry_and_fingerprint(self):
+        assert set(DEFAULT_DOMAINS) <= set(DOMAIN_REGISTRY)
+        assert domain_fingerprint(DEFAULT_DOMAINS) == "consts+intervals"
+        assert domain_fingerprint(("consts",)) == "consts"
+
+    def test_facts_of_caches_and_skips_branchless(self):
+        program = parse("""
+        int straight(int a) { return a + 1; }
+        int branchy(int a) { if (a) { return 1; } return 0; }
+        """)
+        cache = {}
+        assert facts_of(program.functions["straight"], cache=cache) is None
+        first = facts_of(program.functions["branchy"], cache=cache)
+        again = facts_of(program.functions["branchy"], cache=cache)
+        assert first is again
+        assert set(cache) == {"straight", "branchy"}
+
+    def test_program_facts_cover_definition_order(self):
+        program = parse("""
+        int a(int x) { if (x) { return 1; } return 0; }
+        int b(int x) { return x; }
+        """)
+        table = solve_program_facts(program)
+        assert list(table) == ["a", "b"]
+        assert table["b"] is None
+
+
+# ---------------------------------------------------------------------------
+# Deputy loop-bound discharge
+# ---------------------------------------------------------------------------
+
+class TestDeputyDischarge:
+    def check(self, source: str):
+        return check_program(parse(source), DeputyOptions())
+
+    def index_statuses(self, results, name):
+        return [ob.status for ob in results[name].obligations
+                if ob.kind is ObligationKind.INDEX]
+
+    def test_canonical_loop_discharges(self):
+        results = self.check("""
+        int sum(int * count(n) arr, int n) {
+            int i;
+            int s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + arr[i]; }
+            return s;
+        }
+        """)
+        assert self.index_statuses(results, "sum") == [ObligationStatus.STATIC]
+
+    def test_off_by_one_twin_keeps_check(self):
+        results = self.check("""
+        int sum(int * count(n) arr, int n) {
+            int i;
+            int s = 0;
+            for (i = 0; i <= n; i = i + 1) { s = s + arr[i]; }
+            return s;
+        }
+        """)
+        assert self.index_statuses(results, "sum") == [ObligationStatus.RUNTIME]
+
+    def test_guarded_single_access_discharges(self):
+        results = self.check("""
+        int get(int * count(n) arr, int n, int i) {
+            if (i >= 0 && i < n) { return arr[i]; }
+            return -1;
+        }
+        """)
+        assert self.index_statuses(results, "get") == [ObligationStatus.STATIC]
+
+    def test_missing_lower_bound_keeps_check(self):
+        results = self.check("""
+        int get(int * count(n) arr, int n, int i) {
+            if (i < n) { return arr[i]; }
+            return -1;
+        }
+        """)
+        assert self.index_statuses(results, "get") == [ObligationStatus.RUNTIME]
+
+    def test_field_relative_count_discharges(self):
+        results = self.check("""
+        struct vec { int n; int * count(n) a; };
+        int sum(struct vec *v nonnull) {
+            int i;
+            int s = 0;
+            for (i = 0; i < v->n; i = i + 1) { s = s + v->a[i]; }
+            return s;
+        }
+        """)
+        assert self.index_statuses(results, "sum") == [ObligationStatus.STATIC]
+
+    def test_write_to_index_kills_guard(self):
+        results = self.check("""
+        int get(int * count(n) arr, int n, int i) {
+            if (i >= 0 && i < n) {
+                i = i + 1;
+                return arr[i];
+            }
+            return -1;
+        }
+        """)
+        assert self.index_statuses(results, "get") == [ObligationStatus.RUNTIME]
+
+    def test_call_kills_heap_read_bound_guard(self):
+        # g() may write v->n, so the guard recorded from i < v->n must die
+        # across the call while a param-bound guard would survive.
+        results = self.check("""
+        struct vec { int n; int * count(n) a; };
+        void g(void);
+        int sum(struct vec *v nonnull, int i) {
+            if (i >= 0 && i < v->n) {
+                g();
+                return v->a[i];
+            }
+            return -1;
+        }
+        """)
+        assert self.index_statuses(results, "sum") == [ObligationStatus.RUNTIME]
+
+    def test_discharge_active_with_optimizer_disabled(self):
+        # Like constant facts, interval facts are checker precision, not an
+        # optimization: the A1 ablation keeps them.
+        results = check_program(parse("""
+        int sum(int * count(n) arr, int n) {
+            int i;
+            int s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + arr[i]; }
+            return s;
+        }
+        """), DeputyOptions(optimize=False))
+        assert self.index_statuses(results, "sum") == [ObligationStatus.STATIC]
+
+    def test_corpus_seeds(self):
+        results = check_program(parse_corpus(), DeputyOptions())
+        assert self.index_statuses(results, "sum_samples") == \
+            [ObligationStatus.STATIC]
+        assert self.index_statuses(results, "sum_samples_overrun") == \
+            [ObligationStatus.RUNTIME]
+        assert self.index_statuses(results, "get_sample") == \
+            [ObligationStatus.STATIC]

@@ -438,8 +438,112 @@ class TestHTTPAPI:
         status, payload = request("/nonsense")
         assert status == 404
         assert "/health" in payload["endpoints"]
+        assert "/findings/by-file/<tu>" in payload["endpoints"]
         status, _ = request("/nonsense", method="POST")
         assert status == 404
+
+    def test_findings_by_file(self, http_service):
+        service, request = http_service
+        service.reconcile()
+        all_findings = service.snapshot.report.all_findings()
+        expected = [f for f in all_findings if f["file"] == "lib.c"]
+        assert expected  # leaf's blocking-under-lock findings live here
+        status, payload = request("/findings/by-file/lib.c")
+        assert status == 200
+        assert payload["file"] == "lib.c"
+        assert payload["count"] == len(expected)
+        assert payload["findings"] == expected
+        # A file with no findings (or not in the corpus) is an empty list,
+        # not an error — clients poll files speculatively.
+        status, payload = request("/findings/by-file/no_such.c")
+        assert (status, payload["count"], payload["findings"]) == (200, 0, [])
+
+    def test_findings_since_current_revision_is_empty_delta(self, http_service):
+        service, request = http_service
+        service.reconcile()
+        revision = service.snapshot.revision
+        status, payload = request(f"/findings?since={revision}")
+        assert status == 200
+        assert payload["delta_base"] == revision
+        assert payload["added"] == []
+        assert payload["removed"] == []
+
+    def test_findings_since_unknown_revision_degrades_to_full(self, http_service):
+        service, request = http_service
+        service.reconcile()
+        expected = service.snapshot.report.all_findings()
+        for since in ("9999", "bogus"):
+            status, payload = request(f"/findings?since={since}")
+            assert status == 200
+            assert payload["delta_base"] is None
+            assert payload["findings"] == expected
+
+
+class TestFindingsDelta:
+    """``?since=`` across real revisions: an on-disk edit produces a delta."""
+
+    def _serve(self, service):
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+
+        def request(path):
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}{path}", timeout=10) as response:
+                return json.load(response)
+
+        return server, request
+
+    def test_edit_shows_up_as_added_findings(self, tmp_path):
+        export_corpus(tmp_path, CHAIN_FILES)
+        service = AnalysisService(corpus_dir=tmp_path,
+                                  poll_seconds=0.05, debounce_seconds=0.01)
+        server, request = self._serve(service)
+        try:
+            service.reconcile()
+            base = service.snapshot.report.all_findings()
+            # A second blocking-under-lock function: new findings, and the
+            # append leaves every existing finding's location untouched.
+            (tmp_path / "lib.c").write_text(CHAIN_LIB + """
+int leaf_twin(void) {
+    spin_lock_irqsave(&chain_lock);
+    schedule();
+    spin_unlock_irqrestore(&chain_lock);
+    return 1;
+}
+""")
+            service.reconcile()
+            assert service.snapshot.revision == 2
+            payload = request("/findings?since=1")
+            assert payload["delta_base"] == 1
+            assert payload["revision"] == 2
+            assert payload["added"]
+            assert all(f["function"] == "leaf_twin" for f in payload["added"])
+            assert payload["removed"] == []
+            assert payload["count"] == len(base) + len(payload["added"])
+            # The reverse direction: reverting the edit removes them again.
+            (tmp_path / "lib.c").write_text(CHAIN_LIB)
+            service.reconcile()
+            payload = request("/findings?since=2")
+            assert payload["delta_base"] == 2
+            assert payload["added"] == []
+            assert all(f["function"] == "leaf_twin" for f in payload["removed"])
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+    def test_history_window_ages_out_oldest(self, monkeypatch):
+        from repro.service import daemon
+
+        monkeypatch.setattr(daemon, "FINDINGS_HISTORY_LIMIT", 2)
+        service = AnalysisService(files=CHAIN_FILES)
+        for _ in range(3):
+            service.reconcile()
+        assert service.findings_at(1) is None
+        assert service.findings_at(2) is not None
+        assert service.findings_at(3) is not None
 
 
 class TestServiceWatchesDirectory:
