@@ -35,3 +35,9 @@ def test_deputy_hybrid_checking_split(benchmark):
     # (for (i = 0; i < n; ...) a[i]) proven without a run-time check.
     assert report.checks_interval > 10
     assert report.checks_interval <= report.checks_static
+    # The octagon domain's contribution: bounds the guard only implies
+    # relationally (limit = n - 1; i <= limit, aliased counts, i < buf->n)
+    # discharged by difference-bound entailment.
+    assert report.checks_relational >= 5
+    assert (report.checks_interval + report.checks_relational
+            <= report.checks_static)

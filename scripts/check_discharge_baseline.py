@@ -9,9 +9,15 @@ discharged count has dropped below the repo's ``deputy_discharge_baseline``
 broken interval transfer) would otherwise only show up as a silent perf
 loss in the instrumented corpus.
 
-Raising the baseline is a deliberate act: when an analysis improvement
-discharges more checks, bump ``deputy_discharge_baseline`` in the checked-in
-``BENCH_engine.json`` alongside the change that earned it.
+When the file also carries a ``deputy_relational_baseline``, the latest
+run's ``deputy_checks_relational`` (discharges owed to difference-bound
+entailment specifically) is gated the same way — a regression there can
+hide inside a stable total when the interval path picks up the slack.
+
+Raising a baseline is a deliberate act: when an analysis improvement
+discharges more checks, bump ``deputy_discharge_baseline`` (and/or
+``deputy_relational_baseline``) in the checked-in ``BENCH_engine.json``
+alongside the change that earned it.
 
 Usage::
 
@@ -53,6 +59,17 @@ def check(path: str) -> int:
               "the optimizer lost proving power; fix the regression or "
               "lower the baseline with justification.", file=sys.stderr)
         return 1
+    relational_baseline = payload.get("deputy_relational_baseline")
+    if relational_baseline is not None:
+        relational = latest.get("deputy_checks_relational", 0)
+        print(f"deputy relational discharge: {relational} "
+              f"(baseline {relational_baseline})")
+        if relational < relational_baseline:
+            print(f"FAIL: relational discharges {relational} < baseline "
+                  f"{relational_baseline} — the difference-bound entailment "
+                  "lost proving power; fix the regression or lower the "
+                  "baseline with justification.", file=sys.stderr)
+            return 1
     print("OK: discharge at or above baseline")
     return 0
 

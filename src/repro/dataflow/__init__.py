@@ -54,6 +54,18 @@ from .domains import (
     solve_program_facts,
 )
 from .intervals import IntervalDomain, eval_interval, interval_condition_facts
+from .octagons import (
+    OctagonDomain,
+    add_octagon_constraint,
+    close_octagon,
+    entails_octagon,
+    freeze_octagon_env,
+    join_octagon_envs,
+    narrow_octagon_envs,
+    octagon_condition_facts,
+    thaw_octagon_env,
+    widen_octagon_envs,
+)
 from .interproc import (
     Condensation,
     SummaryDivergence,
@@ -82,22 +94,30 @@ __all__ = [
     "FunctionSummary",
     "INFEASIBLE",
     "IntervalDomain",
+    "OctagonDomain",
     "RETURN",
     "Edge",
     "Element",
     "SummaryContext",
     "SummaryDivergence",
+    "add_octagon_constraint",
     "build_cfg",
     "build_context",
     "callgraph_fingerprint",
+    "close_octagon",
     "condense_callgraph",
     "consts_of",
     "domain_fingerprint",
+    "entails_octagon",
     "eval_const",
     "eval_interval",
     "facts_of",
     "FixpointDivergence",
+    "freeze_octagon_env",
     "interval_condition_facts",
+    "join_octagon_envs",
+    "narrow_octagon_envs",
+    "octagon_condition_facts",
     "reachable_blocks",
     "refined_edges",
     "solve_forward",
@@ -107,4 +127,6 @@ __all__ = [
     "solve_program_facts",
     "solve_scc",
     "solve_summaries",
+    "thaw_octagon_env",
+    "widen_octagon_envs",
 ]

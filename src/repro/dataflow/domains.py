@@ -54,6 +54,7 @@ from .consts import (
     trackable_names,
 )
 from .intervals import FrozenIntervalEnv, IntervalDomain
+from .octagons import FrozenOctEnv, OctagonDomain
 from .solver import INFEASIBLE, solve_forward
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -118,10 +119,11 @@ class AbstractDomain(Protocol):
 DOMAIN_REGISTRY: dict[str, Any] = {
     "consts": ConstDomain,
     "intervals": IntervalDomain,
+    "octagons": OctagonDomain,
 }
 
 #: The product every engine path solves unless configured otherwise.
-DEFAULT_DOMAINS: tuple[str, ...] = ("consts", "intervals")
+DEFAULT_DOMAINS: tuple[str, ...] = ("consts", "intervals", "octagons")
 
 #: Bounded decreasing iteration after the widened fixpoint.
 NARROW_ROUNDS = 2
@@ -140,8 +142,9 @@ class FunctionFacts(FunctionConsts):
     ``.in_envs`` / ``.edge_facts`` / ``.infeasible`` / ``.prunes`` /
     ``.reachable`` keeps working unchanged (including ``isinstance``
     checks), the keys are still the deterministic CFG block numbering, and
-    ``infeasible`` is the *union* over all domains — the interval-only
-    subset is attributed separately in ``interval_pruned``.
+    ``infeasible`` is the *union* over all domains — the interval-only and
+    octagon-only subsets are attributed separately in ``interval_pruned``
+    and ``octagon_pruned``.
     """
 
     #: The domain product this artifact was solved under (key-salt twin).
@@ -151,6 +154,16 @@ class FunctionFacts(FunctionConsts):
     interval_envs: dict[int, FrozenIntervalEnv] = field(default_factory=dict)
     #: The subset of ``infeasible`` only the interval component proves dead.
     interval_pruned: frozenset[tuple[int, int]] = frozenset()
+    #: Per-block closed octagon input environments (empty envs are absent).
+    octagon_envs: dict[int, FrozenOctEnv] = field(default_factory=dict)
+    #: The subset of ``infeasible`` only the octagon component proves dead.
+    octagon_pruned: frozenset[tuple[int, int]] = frozenset()
+    #: Per feasible edge: the relational constraints the branch adds beyond
+    #: the source block's out-state (the ``cfg --format json`` dump reads
+    #: this; empty deltas are absent).
+    octagon_edge_facts: dict[tuple[int, int], FrozenOctEnv] = field(
+        default_factory=dict
+    )
 
 
 def solve_function_facts(
@@ -252,8 +265,10 @@ def _record(cfg, domains, insts, transfer, in_states) -> FunctionFacts:
     by_name = {d.name: i for i, d in enumerate(insts)}
     const_slot = by_name.get("consts")
     interval_slot = by_name.get("intervals")
+    octagon_slot = by_name.get("octagons")
     infeasible: set[tuple[int, int]] = set()
     interval_pruned: set[tuple[int, int]] = set()
+    octagon_pruned: set[tuple[int, int]] = set()
     for block in cfg.blocks:
         states = in_states[block.index]
         if states is None:
@@ -264,25 +279,47 @@ def _record(cfg, domains, insts, transfer, in_states) -> FunctionFacts:
             frozen = insts[interval_slot].freeze(states[interval_slot])
             if frozen:
                 result.interval_envs[block.index] = frozen
+        if octagon_slot is not None:
+            frozen = insts[octagon_slot].freeze(states[octagon_slot])
+            if frozen:
+                result.octagon_envs[block.index] = frozen
         out_states = transfer(block, states)
         snapshot = {d.name: s for d, s in zip(insts, out_states)}
         for pos, edge in enumerate(block.succs):
             pruned_by = None
+            oct_refined = None
             for d, s in zip(insts, out_states):
-                if d.refine_edge(block, pos, edge, s, snapshot) is INFEASIBLE:
+                outcome = d.refine_edge(block, pos, edge, s, snapshot)
+                if outcome is INFEASIBLE:
                     pruned_by = d.name
                     break
+                if d.name == "octagons":
+                    oct_refined = outcome
             if pruned_by is not None:
                 infeasible.add((block.index, pos))
                 if pruned_by == "intervals":
                     interval_pruned.add((block.index, pos))
+                elif pruned_by == "octagons":
+                    octagon_pruned.add((block.index, pos))
                 continue
             if const_slot is not None:
                 facts = insts[const_slot].edge_facts(block, pos, edge, out_states[const_slot])
                 if facts and facts is not INFEASIBLE:
                     result.edge_facts[(block.index, pos)] = facts
+            if octagon_slot is not None and oct_refined is not None:
+                out_env = out_states[octagon_slot]
+                delta = {
+                    key: bound
+                    for key, bound in oct_refined.items()
+                    if out_env.get(key) is None or bound < out_env[key]
+                }
+                if delta:
+                    result.octagon_edge_facts[(block.index, pos)] = tuple(
+                        sorted((a, b, c) for (a, b), c in delta.items())
+                    )
     result.infeasible = frozenset(infeasible)
     result.interval_pruned = frozenset(interval_pruned)
+    result.octagon_pruned = frozenset(octagon_pruned)
     return result
 
 

@@ -181,13 +181,15 @@ def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
     shadow an identically-named local, so they fold through literal
     constants alone.
 
-    ``prove(index, bound) -> bool`` is the region cache's interval/guard
-    prover: it discharges the non-constant case ``0 <= index < bound``
-    when the interval facts pin the lower bound and a dominating loop
-    guard (or a numeric interval against a literal bound) pins the strict
-    upper bound.  It receives the bound *as rendered at the access site*
-    (after field rebinding), so guard keys recorded from the loop
-    condition match.
+    ``prove(index, bound) -> str | None`` is the region cache's
+    interval/relational prover: it discharges the non-constant case
+    ``0 <= index < bound`` when the interval facts pin the lower bound and
+    either the index's numeric interval beats a literal bound
+    (``"interval"``) or the difference-bound environment entails the strict
+    upper bound (``"relational"`` — a dominating loop guard, possibly
+    through derived bounds like ``limit == n - 1``).  It receives the
+    bound *as rendered at the access site* (after field rebinding), so
+    atoms recorded from the loop condition match.
     """
     base_type = env.type_of(base)
     facts = pointer_facts(base_type)
@@ -206,9 +208,9 @@ def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
         if count_expr is None:
             return Decision(ObligationStatus.TRUSTED, ObligationKind.INDEX,
                             detail="count expression not expressible at access site")
-        if prove is not None and prove(index, count_expr):
+        if prove is not None and (proof := prove(index, count_expr)):
             return Decision(ObligationStatus.STATIC, ObligationKind.INDEX,
-                            detail="interval-bounded index")
+                            detail=f"{proof}-bounded index")
         check = _check_call("__deputy_check_index",
                             [index, count_expr], loc)
         return Decision(ObligationStatus.RUNTIME, ObligationKind.INDEX, check=check)
@@ -218,9 +220,9 @@ def decide_index(env: TypeEnv, base: ast.Expr, index: ast.Expr,
                 and 0 <= index_const < bound_const):
             return Decision(ObligationStatus.STATIC, ObligationKind.INDEX,
                             detail=f"constant index {index_const} < {bound_const}")
-        if prove is not None and prove(index, facts.bound_hi):
+        if prove is not None and (proof := prove(index, facts.bound_hi)):
             return Decision(ObligationStatus.STATIC, ObligationKind.INDEX,
-                            detail="interval-bounded index")
+                            detail=f"{proof}-bounded index")
         check = _check_call("__deputy_check_index", [index, facts.bound_hi], loc)
         return Decision(ObligationStatus.RUNTIME, ObligationKind.INDEX, check=check)
     if facts.kind is PointerKind.NULLTERM:

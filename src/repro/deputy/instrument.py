@@ -79,6 +79,14 @@ class InstrumentationResult:
                    if obligation.status is ObligationStatus.STATIC
                    and obligation.detail == "interval-bounded index")
 
+    @property
+    def checks_relational(self) -> int:
+        """Static discharges owed to relational (difference-bound) facts."""
+        return sum(1 for result in self.results.values()
+                   for obligation in result.obligations
+                   if obligation.status is ObligationStatus.STATIC
+                   and obligation.detail == "relational-bounded index")
+
 
 class DeputyInstrumenter:
     """Instrument every function of a program with Deputy run-time checks.
@@ -146,19 +154,25 @@ class DeputyInstrumenter:
             result.trusted = True
             return
         env = self._env_for(func)
+        loop_ranges, loop_relations = self._loop_facts(func)
         worker = _FunctionInstrumenter(env, self.options, result, rewrite,
                                        safe_names=_callee_immune_names(func),
-                                       loop_ranges=self._loop_ranges(func))
+                                       loop_ranges=loop_ranges,
+                                       loop_relations=loop_relations)
         new_body = worker.stmt(func.body, worker.fresh_cache())
         if rewrite and isinstance(new_body, ast.Block):
             func.body = new_body
 
-    def _loop_ranges(self, func: ast.FuncDef) -> dict[int, tuple]:
-        """Solved interval environments at loop heads, keyed by ``id(stmt)``.
+    def _loop_facts(self, func: ast.FuncDef) -> tuple[dict[int, tuple],
+                                                      dict[int, tuple]]:
+        """Solved interval and octagon loop-head states, keyed by ``id(stmt)``.
 
         The structural walk cannot iterate a loop body to a fixpoint, so the
         region caches import the CFG solver's widened/narrowed state at each
-        ``while``/``for`` condition block.  ``do``/``while`` is excluded: its
+        ``while``/``for`` condition block — both the per-name interval
+        ranges and the relational (difference-bound) environment, which is
+        how a bound derived *before* the loop (``limit = n - 1``) reaches
+        the body's entailment queries.  ``do``/``while`` is excluded: its
         condition block follows the body, so its state is not the body's
         entry state.
         """
@@ -166,10 +180,12 @@ class DeputyInstrumenter:
             facts = self.facts.get(func.name)
         else:
             facts = facts_of(func, cache=self._facts_cache)
-        interval_envs = getattr(facts, "interval_envs", None)
-        if not interval_envs:
-            return {}
+        interval_envs = getattr(facts, "interval_envs", None) or {}
+        octagon_envs = getattr(facts, "octagon_envs", None) or {}
+        if not interval_envs and not octagon_envs:
+            return {}, {}
         ranges: dict[int, tuple] = {}
+        relations: dict[int, tuple] = {}
         for block in build_cfg(func).blocks:
             element = block.condition_element()
             if element is None or not isinstance(element.stmt,
@@ -178,7 +194,10 @@ class DeputyInstrumenter:
             frozen = interval_envs.get(block.index)
             if frozen:
                 ranges[id(element.stmt)] = frozen
-        return ranges
+            frozen = octagon_envs.get(block.index)
+            if frozen:
+                relations[id(element.stmt)] = frozen
+        return ranges, relations
 
 
 def _function_is_trusted(func: ast.FuncDef) -> bool:
@@ -260,7 +279,8 @@ class _FunctionInstrumenter:
     def __init__(self, env: TypeEnv, options: DeputyOptions,
                  result: FunctionCheckResult, rewrite: bool,
                  safe_names: frozenset[str] = frozenset(),
-                 loop_ranges: dict[int, tuple] | None = None) -> None:
+                 loop_ranges: dict[int, tuple] | None = None,
+                 loop_relations: dict[int, tuple] | None = None) -> None:
         self.env = env
         self.options = options
         self.result = result
@@ -268,6 +288,7 @@ class _FunctionInstrumenter:
         self.in_trusted_block = 0
         self.safe_names = safe_names
         self.loop_ranges = loop_ranges or {}
+        self.loop_relations = loop_relations or {}
 
     def fresh_cache(self, enabled: bool | None = None) -> CheckCache:
         """A new region cache carrying this function's callee-immune names."""
@@ -359,6 +380,7 @@ class _FunctionInstrumenter:
             cache.invalidate_all()
             body_cache = self.fresh_cache()
             body_cache.seed_ranges(self.loop_ranges.get(id(stmt), ()))
+            body_cache.seed_relations(self.loop_relations.get(id(stmt), ()))
             stmt.cond = self.expr(stmt.cond, body_cache)
             # Every iteration enters the body through the condition, so the
             # body may assume its truth facts (the region reset above keeps
@@ -380,6 +402,7 @@ class _FunctionInstrumenter:
             cache.invalidate_all()
             body_cache = self.fresh_cache()
             body_cache.seed_ranges(self.loop_ranges.get(id(stmt), ()))
+            body_cache.seed_relations(self.loop_relations.get(id(stmt), ()))
             if stmt.cond is not None:
                 stmt.cond = self.expr(stmt.cond, body_cache)
                 # The body only runs when the condition held, exactly as in

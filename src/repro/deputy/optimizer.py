@@ -39,10 +39,17 @@ from ..dataflow.intervals import (
     join_interval,
     transfer_interval_expr,
 )
+from ..dataflow.octagons import (
+    add_octagon_constraint,
+    close_octagon,
+    entails_octagon,
+    join_octagon_envs,
+    oct_tighten,
+)
 from ..dataflow.solver import INFEASIBLE
 from ..minic import ast_nodes as ast
 from ..minic.pretty import render_expression
-from ..minic.visitor import walk
+from ..minic.visitor import iter_child_nodes, walk
 
 
 @dataclass
@@ -73,15 +80,22 @@ class CheckCache:
     #: branch forks; like ``consts`` they feed checker precision, not the
     #: elision pass, and are memory-immune by construction.
     ranges: dict[str, tuple[int | None, int | None]] = field(default_factory=dict)
-    #: Symbolic strict upper bounds the region has *tested*: the true arm of
-    #: ``i < n`` records ``("i", "n") -> (names in the bound, bound reads
-    #: heap)``.  Unlike ``ranges`` these compare renderings, so they
-    #: discharge ``__deputy_check_index(i, n)`` even when neither side has a
-    #: numeric bound — the loop-guard shape the interval lattice alone
-    #: cannot close.  A guard dies with any write to the index, any write to
-    #: a bound name, and (for heap-reading or non-immune bounds) any store
-    #: or call.
-    guards: dict[tuple[str, str], tuple[frozenset[str], bool]] = field(
+    #: Relational facts over *atoms*: a difference-bound environment
+    #: (:mod:`repro.dataflow.octagons` machinery, variables keyed by the
+    #: rendered core expression) recording ``±a ± b <= c`` for the region's
+    #: tested comparisons (all six operators, with constant offsets folded
+    #: into the bound — the true arm of ``i <= limit`` records
+    #: ``i - limit <= 0``), the region's alias assignments (``m = n``), the
+    #: CFG solve's loop-head octagon state, and everything closure derives
+    #: from them.  This subsumes the old syntactic guard-key matching
+    #: semantically: ``__deputy_check_index(i, n)`` discharges whenever the
+    #: environment *entails* ``i - n <= -1``, whether the region tested
+    #: ``i < n`` directly or ``i <= limit`` with ``limit == n - 1``.
+    relations: dict = field(default_factory=dict)
+    #: Per-atom invalidation metadata: atom -> (mentioned names, reads heap).
+    #: A relation dies with any of its atoms: on a write to a mentioned
+    #: name, and (for heap-reading or non-immune atoms) on any store/call.
+    _rel_atoms: dict[str, tuple[frozenset[str], bool]] = field(
         default_factory=dict)
 
     def key_of(self, check: ast.Expr) -> str:
@@ -106,11 +120,9 @@ class CheckCache:
         """A variable was written: drop every cached check that mentions it."""
         self.consts.pop(name, None)
         self.ranges.pop(name, None)
-        if self.guards:
-            stale_guards = [key for key, (names, _) in self.guards.items()
-                            if key[0] == name or name in names]
-            for key in stale_guards:
-                del self.guards[key]
+        if self._rel_atoms:
+            self._drop_atoms({atom for atom, (names, _)
+                              in self._rel_atoms.items() if name in names})
         if not self.enabled or not self._seen:
             return
         stale = [key for key, names in self._seen.items() if name in names]
@@ -130,13 +142,11 @@ class CheckCache:
         global or an address-taken local can be invalidated by a callee
         write, so it is dropped like everything else.
         """
-        if self.guards:
-            guard_safe = self.safe_names or frozenset()
-            stale_guards = [key for key, (names, reads_heap)
-                            in self.guards.items()
-                            if reads_heap or not names <= guard_safe]
-            for key in stale_guards:
-                del self.guards[key]
+        if self._rel_atoms:
+            immune = self.safe_names or frozenset()
+            self._drop_atoms({atom for atom, (names, reads_heap)
+                              in self._rel_atoms.items()
+                              if reads_heap or not names <= immune})
         if not self.enabled or not self._seen:
             return
         safe = self.safe_names or frozenset()
@@ -154,7 +164,20 @@ class CheckCache:
         self._heap_reads.clear()
         self.consts.clear()
         self.ranges.clear()
-        self.guards.clear()
+        self.relations.clear()
+        self._rel_atoms.clear()
+
+    def _drop_atoms(self, stale: set[str]) -> None:
+        """Drop the relational rows touching any atom in ``stale``."""
+        if not stale:
+            return
+        for atom in stale:
+            del self._rel_atoms[atom]
+        if self.relations:
+            self.relations = {
+                key: bound for key, bound in self.relations.items()
+                if key[0][0] not in stale and key[1][0] not in stale
+            }
 
     def fork(self, cond: ast.Expr | None = None,
              branch_true: bool = True) -> "CheckCache":
@@ -170,7 +193,8 @@ class CheckCache:
         clone._heap_reads = set(self._heap_reads)
         clone.consts = dict(self.consts)
         clone.ranges = dict(self.ranges)
-        clone.guards = dict(self.guards)
+        clone.relations = dict(self.relations)
+        clone._rel_atoms = dict(self._rel_atoms)
         if cond is not None:
             safe = self.safe_names or frozenset()
             facts = condition_facts(cond, branch_true, clone.consts, safe)
@@ -181,7 +205,7 @@ class CheckCache:
             if interval_facts is not INFEASIBLE:
                 clone.ranges.update(interval_facts)
             if not _has_side_effects(cond):
-                _record_guards(cond, branch_true, clone.guards, safe)
+                clone._record_relations(cond, branch_true)
         return clone
 
     def joined(self, other: "CheckCache") -> "CheckCache":
@@ -204,8 +228,10 @@ class CheckCache:
                                  for name, bounds in self.ranges.items()
                                  if name in other.ranges)
             if joined != (None, None)}
-        clone.guards = {key: value for key, value in self.guards.items()
-                        if key in other.guards}
+        clone.relations = join_octagon_envs(self.relations, other.relations)
+        clone._rel_atoms = {atom: meta for atom, meta
+                            in self._rel_atoms.items()
+                            if atom in other._rel_atoms}
         return clone
 
     def fork_switch(self, scrutinee: ast.Expr,
@@ -235,18 +261,33 @@ class CheckCache:
 
         The interval transfer runs first, under the *pre*-update constant
         bindings: ``i = i + 1`` must evaluate the right-hand ``i`` in the
-        state before the assignment, not after.
+        state before the assignment, not after.  Relational learning also
+        runs under the pre-update constants: certain (not may-execute)
+        ``m = n``-shaped assignments bind an equality between atoms —
+        relations on the written names were already dropped by the caller's
+        invalidation pass, so learning never relates a value to itself.
         """
         safe = self.safe_names or frozenset()
         pre_consts = self.consts
+        self._note_relations(expr)
         self.ranges = dict(
             transfer_interval_expr(self.ranges, expr, safe, pre_consts))
         self.consts = dict(transfer_expr(pre_consts, expr, safe))
 
     def bind_decl(self, name: str, init: ast.Expr | None) -> None:
-        """A declaration bound ``name``: learn its folded initializer."""
+        """A declaration bound ``name``: learn its folded initializer.
+
+        Besides the constant binding, a declaration with a linear
+        initializer (``int limit = n - 1;``) binds the *relational*
+        equality ``limit == n - 1`` — the derived-bound fact the loop-guard
+        entailment later closes through.
+        """
         if name in (self.safe_names or frozenset()):
             self._bind_const(name, None if init is None else self.fold(init))
+            self._drop_atoms({atom for atom, (names, _)
+                              in self._rel_atoms.items() if name in names})
+            if init is not None:
+                self._learn_equality(name, init)
         else:
             self.consts.pop(name, None)
 
@@ -274,27 +315,201 @@ class CheckCache:
             if name in safe:
                 self.ranges[name] = bounds
 
-    def prove_index(self, index: ast.Expr, bound: ast.Expr) -> bool:
-        """Whether this region proves ``0 <= index < bound``.
+    # -- relational facts ----------------------------------------------------
 
-        The lower bound always comes from the interval facts.  The strict
-        upper bound comes from either a recorded symbolic guard (the true
-        arm of ``i < n`` covers ``__deputy_check_index(i, n)`` by rendering
-        equality) or, when the bound folds to a literal constant, from the
-        index's numeric interval alone.
+    def seed_relations(
+        self,
+        frozen_env: tuple[tuple[tuple[str, int], tuple[str, int], int], ...],
+    ) -> None:
+        """Adopt a CFG solve's frozen octagon environment (loop-head state).
+
+        The relational twin of :meth:`seed_ranges`: loop bodies start from a
+        fresh cache, so a bound derived *before* the loop (``limit = n - 1``)
+        reaches the body only through the solver's loop-head state.  The
+        solved octagon variables are trackable names, which map one-to-one
+        onto name atoms here; frozen environments are already closed.
+        """
+        safe = self.safe_names or frozenset()
+        for a, b, c in frozen_env:
+            if a[0] not in safe or b[0] not in safe:
+                continue
+            for name in (a[0], b[0]):
+                self._rel_atoms.setdefault(name, (frozenset((name,)), False))
+            oct_tighten(self.relations, a, b, c)
+
+    def prove_index(self, index: ast.Expr, bound: ast.Expr) -> str | None:
+        """The proof (if any) that this region gives ``0 <= index < bound``.
+
+        Returns ``"interval"`` when the index's numeric range alone beats a
+        constant bound, ``"relational"`` when the strict upper bound follows
+        from the difference-bound environment (directly tested, or entailed
+        through closure — ``i <= limit`` with ``limit == n - 1`` proves
+        ``i - n <= -1``), and ``None`` when the region proves nothing.  The
+        lower bound always comes from the interval facts.
         """
         index = _strip_wrappers(index)
         bound = _strip_wrappers(bound)
-        interval = eval_interval(index, self.ranges, self.consts)
-        lo, hi = interval
+        lo, hi = eval_interval(index, self.ranges, self.consts)
         if lo is None or lo < 0:
-            return False
-        key = (render_expression(index), render_expression(bound))
-        if key in self.guards:
-            return True
+            return None
         bound_const = eval_const(bound, {})
-        return (bound_const is not None and hi is not None
-                and hi < bound_const)
+        if bound_const is not None and hi is not None and hi < bound_const:
+            return "interval"
+        atom_index = self._atom_of(index)
+        atom_bound = self._atom_of(bound)
+        if atom_index is None or atom_bound is None:
+            return None
+        (ai, off_i, _), (ab, off_b, _) = atom_index, atom_bound
+        if ai == ab:
+            # Same value at the same program point: a[i] against i + k.
+            return "relational" if off_i < off_b else None
+        if entails_octagon(self.relations, 1, ai, -1, ab, off_b - off_i - 1):
+            return "relational"
+        return None
+
+    def _atom_of(self, expr: ast.Expr) -> tuple[str, int, ast.Expr] | None:
+        """``(atom, offset, core)`` for ``expr`` read as ``core + offset``.
+
+        The atom is the rendered core expression after peeling wrappers and
+        folding constant addends (under the region's constant facts — sound
+        to bake in, since a relation over the remaining atoms is a fact
+        about their *values* at recording time).  A fully-literal expression
+        returns ``None``: numeric bounds are the interval path's job.
+        """
+        expr = _strip_wrappers(expr)
+        offset = 0
+        while isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            right = eval_const(expr.right, self.consts)
+            if right is not None:
+                offset += right if expr.op == "+" else -right
+                expr = _strip_wrappers(expr.left)
+                continue
+            left = eval_const(expr.left, self.consts)
+            if left is not None and expr.op == "+":
+                offset += left
+                expr = _strip_wrappers(expr.right)
+                continue
+            break
+        if eval_const(expr, {}) is not None:
+            return None
+        return render_expression(expr), offset, expr
+
+    def _note_atom(self, atom: str, core: ast.Expr) -> None:
+        if atom not in self._rel_atoms:
+            names = frozenset(node.name for node in walk(core)
+                              if isinstance(node, ast.Ident))
+            self._rel_atoms[atom] = (names, _reads_heap(core))
+
+    def _learn_equality(self, name: str, value: ast.Expr) -> None:
+        """A certain ``name = value``: bind the equality between their atoms."""
+        if _has_side_effects(value):
+            return
+        parsed = self._atom_of(value)
+        if parsed is None:
+            return
+        atom, offset, core = parsed
+        names, _ = meta = (frozenset(node.name for node in walk(core)
+                                     if isinstance(node, ast.Ident)),
+                           _reads_heap(core))
+        if name in names:
+            return  # self-referential (i = i + 1): relations already dropped
+        self._rel_atoms.setdefault(atom, meta)
+        self._rel_atoms.setdefault(name, (frozenset((name,)), False))
+        add_octagon_constraint(self.relations, 1, name, -1, atom, offset)
+        add_octagon_constraint(self.relations, -1, name, 1, atom, -offset)
+
+    def _note_relations(self, expr: ast.Expr | None) -> None:
+        """Learn alias equalities from the *certain* assignments in ``expr``.
+
+        Mirrors the transfer walk's evaluation-order structure, but learning
+        only: an assignment under ``&&``/``||`` or a ternary arm only *may*
+        execute, and its target's relations were already invalidated by the
+        caller's ``written_names`` pass, so uncertain subtrees contribute
+        nothing here.
+        """
+        if expr is None:
+            return
+        if isinstance(expr, ast.Assign):
+            self._note_relations(expr.value)
+            if not isinstance(expr.target, ast.Ident):
+                self._note_relations(expr.target)
+                return
+            name = expr.target.name
+            if name in (self.safe_names or frozenset()) and expr.op == "=":
+                self._learn_equality(name, expr.value)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            self._note_relations(expr.left)
+            return
+        if isinstance(expr, ast.Conditional):
+            self._note_relations(expr.cond)
+            return
+        for child in iter_child_nodes(expr):
+            if isinstance(child, ast.Expr):
+                self._note_relations(child)
+
+    def _record_relations(self, cond: ast.Expr, branch_true: bool) -> None:
+        """Record the difference bounds ``cond`` establishes on this edge.
+
+        All six comparison operators contribute (possibly negated, or nested
+        under ``&&`` on the true edge / ``||`` on the false edge): strict and
+        non-strict inequalities add one constraint with the strictness
+        folded into the bound, ``==`` adds both directions, ``!=`` adds
+        nothing (non-convex).  The merged environment is closed so entailed
+        bounds (``i <= limit`` plus ``limit == n - 1`` gives ``i < n``)
+        become directly queryable.
+        """
+        pending: list[tuple[int, str, int, str, int]] = []
+        self._comparison_atoms(cond, branch_true, pending)
+        if not pending:
+            return
+        for s1, a1, s2, a2, c in pending:
+            add_octagon_constraint(self.relations, s1, a1, s2, a2, c)
+        closed = close_octagon(self.relations)
+        if closed is not None:
+            self.relations = closed
+
+    def _comparison_atoms(
+        self, cond: ast.Expr, branch_true: bool,
+        pending: list[tuple[int, str, int, str, int]],
+    ) -> None:
+        cond = _strip_wrappers(cond)
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._comparison_atoms(cond.operand, not branch_true, pending)
+            return
+        if not isinstance(cond, ast.Binary):
+            return
+        if cond.op == "&&" and branch_true:
+            self._comparison_atoms(cond.left, True, pending)
+            self._comparison_atoms(cond.right, True, pending)
+            return
+        if cond.op == "||" and not branch_true:
+            self._comparison_atoms(cond.left, False, pending)
+            self._comparison_atoms(cond.right, False, pending)
+            return
+        if cond.op not in _NEGATED_COMPARISON:
+            return
+        op = cond.op if branch_true else _NEGATED_COMPARISON[cond.op]
+        if op == "!=":
+            return
+        left = self._atom_of(cond.left)
+        right = self._atom_of(cond.right)
+        if left is None or right is None:
+            return
+        if op in (">", ">="):
+            op = "<" if op == ">" else "<="
+            left, right = right, left
+        (a1, o1, core1), (a2, o2, core2) = left, right
+        if a1 == a2:
+            return
+        self._note_atom(a1, core1)
+        self._note_atom(a2, core2)
+        if op == "==":
+            pending.append((1, a1, -1, a2, o2 - o1))
+            pending.append((-1, a1, 1, a2, o1 - o2))
+        else:
+            strict = 1 if op == "<" else 0
+            pending.append((1, a1, -1, a2, o2 - o1 - strict))
 
 
 def _strip_wrappers(expr: ast.Expr) -> ast.Expr:
@@ -308,7 +523,7 @@ def _strip_wrappers(expr: ast.Expr) -> ast.Expr:
     """
     while True:
         if isinstance(expr, ast.Cast):
-            expr = expr.expr
+            expr = expr.operand
         elif isinstance(expr, ast.Comma) and expr.exprs:
             expr = expr.exprs[-1]
         else:
@@ -317,46 +532,6 @@ def _strip_wrappers(expr: ast.Expr) -> ast.Expr:
 
 _NEGATED_COMPARISON = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
                        "==": "!=", "!=": "=="}
-
-
-def _record_guards(cond: ast.Expr, branch_true: bool,
-                   guards: dict[tuple[str, str], tuple[frozenset[str], bool]],
-                   safe: frozenset[str]) -> None:
-    """Record the strict upper bounds ``cond`` establishes on this edge.
-
-    Only the shapes that later match an index obligation by rendering are
-    kept: a strict ``index < bound`` (possibly spelled ``bound > index``,
-    negated, or nested under ``&&`` on the true edge / ``||`` on the false
-    edge) with a callee-immune identifier index.  Non-strict comparisons
-    (``i <= n``) establish no strict bound and are deliberately skipped —
-    that asymmetry is what keeps the off-by-one twin's check alive.
-    """
-    cond = _strip_wrappers(cond)
-    if isinstance(cond, ast.Unary) and cond.op == "!":
-        _record_guards(cond.operand, not branch_true, guards, safe)
-        return
-    if isinstance(cond, ast.Binary):
-        if cond.op == "&&" and branch_true:
-            _record_guards(cond.left, True, guards, safe)
-            _record_guards(cond.right, True, guards, safe)
-            return
-        if cond.op == "||" and not branch_true:
-            _record_guards(cond.left, False, guards, safe)
-            _record_guards(cond.right, False, guards, safe)
-            return
-        if cond.op not in _NEGATED_COMPARISON:
-            return
-        op = cond.op if branch_true else _NEGATED_COMPARISON[cond.op]
-        left = _strip_wrappers(cond.left)
-        right = _strip_wrappers(cond.right)
-        if op == ">":
-            op, left, right = "<", right, left
-        if op != "<" or not isinstance(left, ast.Ident) or left.name not in safe:
-            return
-        names = frozenset(node.name for node in walk(right)
-                          if isinstance(node, ast.Ident))
-        guards[(left.name, render_expression(right))] = (names,
-                                                         _reads_heap(right))
 
 
 def _reads_heap(check: ast.Expr) -> bool:

@@ -32,6 +32,7 @@ class ConversionReport:
     checks_inserted: int = 0
     checks_static: int = 0
     checks_interval: int = 0
+    checks_relational: int = 0
     checks_elided: int = 0
     check_errors: int = 0
     functions_converted: int = 0
@@ -67,6 +68,7 @@ class ConversionReport:
             ("run-time checks inserted", str(self.checks_inserted)),
             ("obligations proven statically", str(self.checks_static)),
             ("  of which interval-bounded", str(self.checks_interval)),
+            ("  of which relational-bounded", str(self.checks_relational)),
             ("redundant checks elided", str(self.checks_elided)),
             ("static errors outstanding", str(self.check_errors)),
         ]
@@ -159,6 +161,7 @@ def build_report(program: Program,
         report.checks_inserted = instrumentation.checks_inserted
         report.checks_static = instrumentation.checks_static
         report.checks_interval = instrumentation.checks_interval
+        report.checks_relational = instrumentation.checks_relational
         report.checks_elided = instrumentation.checks_elided
         report.check_errors = len(instrumentation.errors)
     return report

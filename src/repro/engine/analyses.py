@@ -153,10 +153,18 @@ class DeputyAnalysis(EngineAnalysis):
                                 facts=ctx.facts)
         payload = {"functions": {}, "findings": []}
         for name, result in results.items():
+            discharges = {"interval": 0, "relational": 0}
+            for obligation in result.obligations:
+                if obligation.status is ObligationStatus.STATIC:
+                    if obligation.detail == "interval-bounded index":
+                        discharges["interval"] += 1
+                    elif obligation.detail == "relational-bounded index":
+                        discharges["relational"] += 1
             payload["functions"][name] = {
                 "trusted": result.trusted,
                 "counts": {status.name.lower(): result.count(status)
                            for status in ObligationStatus},
+                "discharges": discharges,
             }
             for error in result.errors:
                 payload["findings"].append(make_finding(
@@ -166,6 +174,7 @@ class DeputyAnalysis(EngineAnalysis):
     def merge(self, artifacts, payloads):
         report = AnalysisReport(name=self.name)
         totals = {status.name.lower(): 0 for status in ObligationStatus}
+        discharge_totals = {"interval": 0, "relational": 0}
         trusted_functions = 0
         checked = 0
         for payload in payloads:
@@ -175,12 +184,16 @@ class DeputyAnalysis(EngineAnalysis):
                 trusted_functions += 1 if info["trusted"] else 0
                 for key, value in info["counts"].items():
                     totals[key] += value
+                for key, value in info.get("discharges", {}).items():
+                    discharge_totals[key] += value
         report.findings.sort(key=finding_sort_key)
         report.metrics = {
             "functions_checked": checked,
             "trusted_functions": trusted_functions,
             "obligations_total": sum(totals.values()),
             **{f"obligations_{key}": value for key, value in totals.items()},
+            "checks_interval": discharge_totals["interval"],
+            "checks_relational": discharge_totals["relational"],
         }
         return report
 

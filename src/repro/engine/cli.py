@@ -218,8 +218,9 @@ def _append_bench_entry(path: str, report: EngineReport,
             payload = json.load(handle)
         entries = list(payload.get("runs", []))
         baseline = payload.get("deputy_discharge_baseline")
+        relational_baseline = payload.get("deputy_relational_baseline")
     except (OSError, json.JSONDecodeError):
-        pass
+        relational_baseline = None
     entry = {
         "elapsed_seconds": round(report.elapsed_seconds, 4),
         "jobs": report.jobs,
@@ -235,6 +236,10 @@ def _append_bench_entry(path: str, report: EngineReport,
             "obligations_static", 0)
         entry["deputy_checks_total"] = deputy.metrics.get(
             "obligations_total", 0)
+        entry["deputy_checks_interval"] = deputy.metrics.get(
+            "checks_interval", 0)
+        entry["deputy_checks_relational"] = deputy.metrics.get(
+            "checks_relational", 0)
     if incremental is not None:
         entry["incremental"] = incremental
     entries.append(entry)
@@ -245,10 +250,12 @@ def _append_bench_entry(path: str, report: EngineReport,
         "runs": entries,
         "summary_cache_hit_rate": round(hits / len(entries), 4),
     }
-    # The discharge baseline is a checked-in floor maintained by
-    # scripts/check_discharge_baseline.py; appending runs must not drop it.
+    # The discharge baselines are checked-in floors maintained by
+    # scripts/check_discharge_baseline.py; appending runs must not drop them.
     if baseline is not None:
         payload["deputy_discharge_baseline"] = baseline
+    if relational_baseline is not None:
+        payload["deputy_relational_baseline"] = relational_baseline
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -343,13 +350,37 @@ def _resolve_cfg_unit(spec: str) -> "tuple[object, list[str]] | None":
     return program, list(program.functions)
 
 
+def _render_octagon_row(row: tuple) -> str:
+    """``((x, sx), (y, sy), c)`` as the constraint ``±x ∓ y <= c``."""
+    (x, sx), (y, sy), c = row
+    first = f"-{x}" if sx < 0 else x
+    second = f"+ {y}" if sy < 0 else f"- {y}"
+    return f"{first} {second} <= {c}"
+
+
+def _edge_pruned_by(consts: "FunctionFacts | None",
+                    key: tuple[int, int]) -> "str | None":
+    """Which domain proved an infeasible edge dead (registry order)."""
+    if consts is None or key not in consts.infeasible:
+        return None
+    if key in getattr(consts, "interval_pruned", frozenset()):
+        return "intervals"
+    if key in getattr(consts, "octagon_pruned", frozenset()):
+        return "octagons"
+    return "consts"
+
+
 def _cfg_payload(func: ast.FuncDef,
                  consts: "FunctionFacts | None") -> dict:
     """One function's CFG + refinement facts, in a render-friendly shape."""
     cfg = build_cfg(func)
     in_envs = dict(consts.in_envs) if consts is not None else {}
     interval_envs = dict(consts.interval_envs) if consts is not None else {}
+    octagon_envs = (dict(getattr(consts, "octagon_envs", None) or {})
+                    if consts is not None else {})
     edge_facts = dict(consts.edge_facts) if consts is not None else {}
+    octagon_edge_facts = (dict(getattr(consts, "octagon_edge_facts", None)
+                               or {}) if consts is not None else {})
     infeasible = consts.infeasible if consts is not None else frozenset()
     reachable = (consts.reachable if consts is not None
                  else cfg.reachable())
@@ -369,6 +400,8 @@ def _cfg_payload(func: ast.FuncDef,
             "intervals": {
                 name: list(bounds)
                 for name, bounds in interval_envs.get(block.index, ())},
+            "octagons": [_render_octagon_row(row)
+                         for row in octagon_envs.get(block.index, ())],
             "elements": [
                 {"kind": element.kind,
                  "expr": (render_expression(element.expr)
@@ -378,7 +411,11 @@ def _cfg_payload(func: ast.FuncDef,
                 {"target": edge.target,
                  "label": edge.label,
                  "facts": dict(edge_facts.get((block.index, pos), ())),
-                 "infeasible": (block.index, pos) in infeasible}
+                 "relations": [
+                     _render_octagon_row(row) for row in
+                     octagon_edge_facts.get((block.index, pos), ())],
+                 "infeasible": (block.index, pos) in infeasible,
+                 "pruned_by": _edge_pruned_by(consts, (block.index, pos))}
                 for pos, edge in enumerate(block.succs)],
         })
     return {"function": func.name, "entry": cfg.entry, "exit": cfg.exit,
@@ -402,6 +439,8 @@ def _render_cfg_text(payload: dict) -> list[str]:
                 f"{name}=[{bound(lo, '-inf')}, {bound(hi, '+inf')}]"
                 for name, (lo, hi) in sorted(block["intervals"].items()))
             lines.append(f"    intervals: {facts}")
+        if block.get("octagons"):
+            lines.append(f"    octagons: {'; '.join(block['octagons'])}")
         for element in block["elements"]:
             rendered = element["expr"] if element["expr"] is not None else "(void)"
             lines.append(f"    {element['kind']}: {rendered}")
@@ -412,7 +451,10 @@ def _render_cfg_text(payload: dict) -> list[str]:
                 facts = " {" + ", ".join(
                     f"{name}={value}"
                     for name, value in sorted(edge["facts"].items())) + "}"
-            mark = "  INFEASIBLE" if edge["infeasible"] else ""
+            if edge.get("relations"):
+                facts += " <" + "; ".join(edge["relations"]) + ">"
+            mark = (f"  INFEASIBLE (by {edge['pruned_by']})"
+                    if edge["infeasible"] else "")
             lines.append(f"    -> {edge['target']}{label}{facts}{mark}")
     return lines
 
@@ -440,7 +482,7 @@ def _cmd_cfg(args: argparse.Namespace) -> int:
         payloads.append(_cfg_payload(func, facts_of(func)))
 
     if args.format == "json":
-        print(json.dumps({"schema": "repro-engine-cfg/1", "file": args.file,
+        print(json.dumps({"schema": "repro-engine-cfg/2", "file": args.file,
                           "functions": payloads}, indent=2, sort_keys=True))
         return 0
     lines = [f"== control-flow graphs: {args.file} =="]

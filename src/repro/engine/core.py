@@ -181,6 +181,13 @@ class EngineReport:
                         "intervals_pruned_functions", 0),
                     edges=self.summary_stats.get(
                         "intervals_infeasible_edges", 0)))
+            lines.append(
+                "octagons: {pruned} functions with relational-only pruning "
+                "({edges} edges pruned)".format(
+                    pruned=self.summary_stats.get(
+                        "octagons_pruned_functions", 0),
+                    edges=self.summary_stats.get(
+                        "octagons_infeasible_edges", 0)))
         for name in sorted(self.analyses):
             report = self.analyses[name]
             lines.append("")
@@ -408,19 +415,21 @@ class AnalysisEngine:
     def summary_stats(self, artifacts: SharedArtifacts) -> dict:
         """Condensation/summary metrics for the report (and the CI bench).
 
-        The ``consts_*`` / ``intervals_*`` entries describe the condition
-        facts artifact (the consts×intervals product): function coverage,
-        how many functions each component pruned, and the per-component
-        infeasible-edge counts — each pruned edge is attributed to exactly
-        one component (the constant lattice first, the interval lattice for
-        edges only it proves dead), so the two edge counters sum to the
-        total.  All pure functions of the sources, so serial and parallel
-        reports agree byte-for-byte (the wall-clock solve time lives in
+        The ``consts_*`` / ``intervals_*`` / ``octagons_*`` entries describe
+        the condition facts artifact (the consts×intervals×octagons
+        product): function coverage, how many functions each component
+        pruned, and the per-component infeasible-edge counts — each pruned
+        edge is attributed to exactly one component (the constant lattice
+        first, then intervals, then octagons for edges only the relational
+        domain proves dead), so the three edge counters sum to the total.
+        All pure functions of the sources, so serial and parallel reports
+        agree byte-for-byte (the wall-clock solve time lives in
         ``cache_stats``, which report comparisons already normalize away).
         """
         condensation = artifacts.condensation
         solved = [fc for fc in artifacts.consts.values() if fc is not None]
         interval_edges = sum(len(fc.interval_pruned) for fc in solved)
+        octagon_edges = sum(len(fc.octagon_pruned) for fc in solved)
         return {
             "functions": len(artifacts.summaries),
             "sccs": len(condensation.sccs),
@@ -432,14 +441,20 @@ class AnalysisEngine:
                           else self._summary_cache_hit),
             "consts_functions": len(solved),
             "consts_pruned_functions": sum(
-                1 for fc in solved if len(fc.infeasible) > len(fc.interval_pruned)),
+                1 for fc in solved
+                if len(fc.infeasible) > len(fc.interval_pruned)
+                + len(fc.octagon_pruned)),
             "consts_infeasible_edges": (sum(len(fc.infeasible)
-                                            for fc in solved) - interval_edges),
+                                            for fc in solved)
+                                        - interval_edges - octagon_edges),
             "consts_cache_hit": (True if self._consts_cache_hit is None
                                  else self._consts_cache_hit),
             "intervals_pruned_functions": sum(
                 1 for fc in solved if fc.interval_pruned),
             "intervals_infeasible_edges": interval_edges,
+            "octagons_pruned_functions": sum(
+                1 for fc in solved if fc.octagon_pruned),
+            "octagons_infeasible_edges": octagon_edges,
         }
 
     # -- running ------------------------------------------------------------

@@ -290,6 +290,45 @@ int get_sample(struct sample_buf *buf nonnull, int i)
     return -EINVAL;
 }
 
+/* Relational-bound shapes: neither loop tests the annotated bound (n)
+ * directly, so per-variable ranges and syntactic guard matching both
+ * fail — only the difference-bound domain discharges the index check,
+ * by closing i <= limit through limit == n - 1 (and i < m through
+ * m == n).  sum_suffix_overrun is the derived-bound off-by-one twin
+ * (limit == n, i <= limit allows i == n) and must keep its check. */
+int sum_prefix_derived(int * count(n) a, int n)
+{
+    int limit = n - 1;
+    int s = 0;
+    int i;
+    for (i = 0; i <= limit; i = i + 1) {
+        s = s + a[i];
+    }
+    return s;
+}
+
+int sum_alias_bound(int * count(n) a, int n)
+{
+    int m = n;
+    int s = 0;
+    int i;
+    for (i = 0; i < m; i = i + 1) {
+        s = s + a[i];
+    }
+    return s;
+}
+
+int sum_suffix_overrun(int * count(n) a, int n)
+{
+    int limit = n;
+    int s = 0;
+    int i;
+    for (i = 0; i <= limit; i = i + 1) {
+        s = s + a[i];
+    }
+    return s;
+}
+
 /* Error-pointer helpers (include/linux/err.h). */
 int IS_ERR_VALUE(long value)
 {

@@ -145,6 +145,15 @@ class AnalysisService:
                 "last_pass": snapshot.stats.to_dict(),
                 "summary_stats": snapshot.report.summary_stats,
             })
+            deputy = snapshot.report.analyses.get("deputy")
+            if deputy is not None:
+                metrics = deputy.metrics
+                payload["deputy"] = {
+                    "checks_total": metrics.get("obligations_total", 0),
+                    "checks_discharged": metrics.get("obligations_static", 0),
+                    "checks_interval": metrics.get("checks_interval", 0),
+                    "checks_relational": metrics.get("checks_relational", 0),
+                }
         return payload
 
 

@@ -742,6 +742,7 @@ class IncrementalAnalyzer:
 
         solved_consts = [fc for fc in consts.values() if fc is not None]
         interval_edges = sum(len(fc.interval_pruned) for fc in solved_consts)
+        octagon_edges = sum(len(fc.octagon_pruned) for fc in solved_consts)
         report.summary_stats = {
             "functions": len(summaries),
             "sccs": len(condensation.sccs),
@@ -752,14 +753,18 @@ class IncrementalAnalyzer:
             "consts_functions": len(solved_consts),
             "consts_pruned_functions": sum(
                 1 for fc in solved_consts
-                if len(fc.infeasible) > len(fc.interval_pruned)),
+                if len(fc.infeasible) > len(fc.interval_pruned)
+                + len(fc.octagon_pruned)),
             "consts_infeasible_edges": (sum(len(fc.infeasible)
                                             for fc in solved_consts)
-                                        - interval_edges),
+                                        - interval_edges - octagon_edges),
             "consts_cache_hit": stats.consts_solved == 0,
             "intervals_pruned_functions": sum(
                 1 for fc in solved_consts if fc.interval_pruned),
             "intervals_infeasible_edges": interval_edges,
+            "octagons_pruned_functions": sum(
+                1 for fc in solved_consts if fc.octagon_pruned),
+            "octagons_infeasible_edges": octagon_edges,
         }
         report.cache_stats = {
             "hits": stats.consts_reused + stats.sccs_reused + stats.shards_reused,

@@ -657,7 +657,7 @@ class TestCfgCli:
         assert cli_main(["cfg", "kernel/watchdog.c", "--format", "json",
                          "--function", "audit_try_slot_debug"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == "repro-engine-cfg/1"
+        assert payload["schema"] == "repro-engine-cfg/2"
         (func,) = payload["functions"]
         assert func["function"] == "audit_try_slot_debug"
         edges = [edge for block in func["blocks"] for edge in block["edges"]]

@@ -297,7 +297,7 @@ class TestProductSolve:
 
     def test_registry_and_fingerprint(self):
         assert set(DEFAULT_DOMAINS) <= set(DOMAIN_REGISTRY)
-        assert domain_fingerprint(DEFAULT_DOMAINS) == "consts+intervals"
+        assert domain_fingerprint(DEFAULT_DOMAINS) == "consts+intervals+octagons"
         assert domain_fingerprint(("consts",)) == "consts"
 
     def test_facts_of_caches_and_skips_branchless(self):
