@@ -9,6 +9,7 @@ Usage (also installed as the ``repro-engine`` console script)::
     python -m repro.engine callgraph --witnesses
     python -m repro.engine cfg kernel/watchdog.c --function stats_sample_fast
     python -m repro.engine export-corpus ./corpus
+    python -m repro.engine gen-corpus ./scale-corpus --scale 10
     python -m repro.engine serve --corpus-dir ./corpus --port 8571
     python -m repro.engine list
 """
@@ -28,7 +29,7 @@ from ..kernel.corpus import ALL_FILES, KERNEL_FILES, CorpusFile
 from ..minic import ast_nodes as ast
 from ..minic.pretty import render_expression
 from .analyses import ANALYSIS_ORDER, blocking_witness, summary_payload
-from .core import AnalysisEngine, EngineReport
+from .core import SCHEDULER_MODES, AnalysisEngine, EngineReport
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,7 +44,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="comma-separated analyses, or 'all' (default). "
                           f"Known: {', '.join(ANALYSIS_ORDER)}")
     run.add_argument("--jobs", type=int, default=1,
-                     help="worker processes; >1 shards by translation unit")
+                     help="worker processes; >1 shards by translation unit, "
+                          "0 auto-detects the machine's CPU count "
+                          "(os.cpu_count())")
+    run.add_argument("--scheduler", default="work-steal",
+                     choices=SCHEDULER_MODES,
+                     help="parallel scheduling strategy: 'work-steal' "
+                          "(default) drives one persistent worker pool from "
+                          "a dependency-counted ready queue with no "
+                          "inter-wave barrier; 'wave' is the legacy "
+                          "Pool.map-per-wave barrier mode; 'inline' runs "
+                          "the work-steal task graph in-process (for "
+                          "debugging/determinism checks)")
     run.add_argument("--cache-dir", default=None,
                      help="directory for the on-disk artifact cache")
     run.add_argument("--precision", default="type_based",
@@ -62,6 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="append {wall time, cache stats, summary stats} to "
                           "this JSON file (one entry per run; the CI smoke "
                           "step tracks the perf trajectory with it)")
+    run.add_argument("--bench-tag", default=None,
+                     help="label for the --bench-json entry (e.g. 'scale'); "
+                          "untagged entries are treated as seed-corpus runs "
+                          "by the discharge-baseline gate")
     run.add_argument("--bench-incremental", action="store_true",
                      help="also benchmark the incremental analyzer (cold "
                           "pass, then touch one TU and re-analyze); the "
@@ -113,6 +129,18 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--include-user", action="store_true",
                         help="export user-level corpus files too")
 
+    gen = sub.add_parser(
+        "gen-corpus",
+        help="generate a synthetic kernel-shaped corpus at --scale N "
+             "(~N× the embedded corpus); ingest is resumable — files whose "
+             "content hash already matches MANIFEST.json are skipped")
+    gen.add_argument("directory", help="target directory")
+    gen.add_argument("--scale", type=int, default=10,
+                     help="corpus size multiplier (default 10 ≈ 100 TUs / "
+                          "~2k functions)")
+    gen.add_argument("--seed", type=int, default=0,
+                     help="generator seed (same seed ⇒ same corpus)")
+
     serve = sub.add_parser(
         "serve",
         help="run the always-on analysis service: a file watcher drives "
@@ -126,6 +154,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks a free one)")
     serve.add_argument("--precision", default="type_based",
                        choices=[p.name.lower() for p in Precision])
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the dirty-SCC re-solve; "
+                            "0 auto-detects the machine's CPU count")
     serve.add_argument("--poll-seconds", type=float, default=0.5,
                        help="corpus poll interval")
     serve.add_argument("--verbose", action="store_true",
@@ -157,7 +188,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
-    report = engine.run(analyses=names, jobs=args.jobs)
+    report = engine.run(analyses=names, jobs=args.jobs,
+                        scheduler=args.scheduler)
     incremental = (_bench_incremental(files, precision)
                    if args.bench_incremental else None)
     if args.output:
@@ -165,7 +197,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
             handle.write("\n")
     if args.bench_json:
-        _append_bench_entry(args.bench_json, report, incremental=incremental)
+        _append_bench_entry(args.bench_json, report, incremental=incremental,
+                            tag=args.bench_tag)
     print(report.to_json() if args.format == "json" else report.render_text())
     if args.fail_on_findings and report.finding_count:
         return 1
@@ -209,7 +242,8 @@ def _bench_incremental(files: "tuple[CorpusFile, ...]",
 
 
 def _append_bench_entry(path: str, report: EngineReport,
-                        incremental: dict | None = None) -> None:
+                        incremental: dict | None = None,
+                        tag: str | None = None) -> None:
     """Append one run's perf entry to the benchmark-trajectory JSON file."""
     entries: list[dict] = []
     baseline = None
@@ -230,6 +264,10 @@ def _append_bench_entry(path: str, report: EngineReport,
         "cache_stats": report.cache_stats,
         "summary_stats": report.summary_stats,
     }
+    if tag is not None:
+        entry["tag"] = tag
+    if report.perf:
+        entry["perf"] = report.perf
     deputy = report.analyses.get("deputy")
     if deputy is not None:
         entry["deputy_checks_discharged"] = deputy.metrics.get(
@@ -503,12 +541,29 @@ def _cmd_export_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen_corpus(args: argparse.Namespace) -> int:
+    from ..kernel.synth import generate_corpus, write_corpus
+
+    try:
+        files = generate_corpus(scale=args.scale, seed=args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = write_corpus(args.directory, files,
+                         scale=args.scale, seed=args.seed)
+    print(f"generated scale-{args.scale} corpus in {args.directory}: "
+          f"{stats['total']} files "
+          f"({stats['written']} written, {stats['skipped']} up to date)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from ..service.daemon import serve
 
     serve(corpus_dir=args.corpus_dir, host=args.host, port=args.port,
           precision=Precision[args.precision.upper()],
-          poll_seconds=args.poll_seconds, verbose=args.verbose)
+          poll_seconds=args.poll_seconds, jobs=args.jobs,
+          verbose=args.verbose)
     return 0
 
 
@@ -530,6 +585,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cfg(args)
     if args.command == "export-corpus":
         return _cmd_export_corpus(args)
+    if args.command == "gen-corpus":
+        return _cmd_gen_corpus(args)
     if args.command == "serve":
         return _cmd_serve(args)
     return _cmd_list()

@@ -49,6 +49,21 @@ from .artifacts import (
     build_shared_artifacts,
     unit_function_map,
 )
+from .scheduler import (
+    InlineExecutor,
+    Task,
+    WorkStealingExecutor,
+    fork_available,
+    resolve_jobs,
+    usable_cpus,
+)
+
+#: Scheduler modes accepted by :meth:`AnalysisEngine.run`.  ``work-steal``
+#: (the default) drives all phases through one persistent ready-queue
+#: executor; ``wave`` keeps the historical per-wave ``Pool.map`` barriers
+#: (the bench comparison baseline); ``inline`` runs the work-stealing task
+#: graph in-process (tests use it to scramble completion order).
+SCHEDULER_MODES = ("work-steal", "wave", "inline")
 
 #: Task tuple: (analysis name, shard index, function subset or None).
 _Task = tuple[str, int, "list[str] | None"]
@@ -86,6 +101,99 @@ def _solve_consts_task(functions: "list[str]") -> dict:
     return solve_program_facts(_CONSTS_CONTEXT, functions)
 
 
+def _make_steal_handler(program, graph, pointsto, precision, registry):
+    """The per-worker task handler for work-steal mode.
+
+    Returns a closure over the phase-independent artifacts (parsed program,
+    resolved call graph, points-to solution) — workers receive it through
+    ``fork()`` at executor construction, so none of it is ever pickled.
+    Per-phase inputs arrive with the task payload (dependency summaries,
+    member constant facts) or via broadcast (the merged artifacts the
+    checker shards consume); ``memo`` holds what a worker derives once and
+    reuses across tasks (its summary context, its assembled artifact view).
+    """
+    memo: dict = {}
+
+    def handler(kind, payload, state):
+        if kind == "consts":
+            return solve_program_facts(program, payload)
+        if kind == "scc":
+            scc, needed, member_facts = payload
+            ctx = memo.get("ctx")
+            if ctx is None:
+                ctx = memo["ctx"] = build_context(program, graph)
+            # Shipped facts are pure functions of the sources, so the
+            # context's memo can only ever grow consistent entries; any
+            # member missing one falls back to the lazy in-context solve.
+            ctx.consts.update(member_facts)
+            return solve_scc(scc, ctx, graph, needed)
+        if kind == "shard":
+            name, index, functions = payload
+            # Inline executors share the parent's memory: use the real
+            # artifacts (warm type envs and all) instead of assembling a
+            # worker-side view from broadcast pieces.
+            shared = state.get("shared_artifacts")
+            if shared is not None:
+                return name, index, registry[name].run_shard(shared,
+                                                             functions)
+            data = state["artifacts"]
+            artifacts = memo.get("artifacts")
+            if artifacts is None or memo.get("artifacts_from") is not data:
+                artifacts = SharedArtifacts(
+                    program=program,
+                    precision=precision,
+                    graph=graph,
+                    pointsto=pointsto,
+                    consts=data["consts"],
+                    condensation=data["condensation"],
+                    summaries=data["summaries"],
+                    blocking=data["blocking"],
+                    irq_handlers=data["irq_handlers"],
+                    error_returning=data["error_returning"],
+                    annotations=data["annotations"],
+                    unit_functions=unit_function_map(program))
+                memo["artifacts"] = artifacts
+                memo["artifacts_from"] = data
+            return name, index, registry[name].run_shard(artifacts, functions)
+        raise ValueError(f"unknown task kind {kind!r}")
+
+    return handler
+
+
+def _scc_payload_fn(scc, graph, condensation, unit_of, cached_consts):
+    """Late-bound payload for one SCC task: assembled at dispatch time from
+    the results of the tasks it depends on.
+
+    Ships ``(scc, needed, member_facts)`` — the out-of-component callee
+    summaries this component's fixpoint can look up, and the constant
+    facts of its member functions (from the members' consts tasks, or the
+    cached artifact when this run only re-solves summaries)."""
+
+    def payload_fn(results):
+        members = set(scc)
+        needed = {}
+        for name in scc:
+            for callee in graph.edges.get(name, ()):
+                if callee in members or callee in needed:
+                    continue
+                owner = condensation.scc_of.get(callee)
+                solved = results.get(f"scc:{owner}")
+                if solved is not None and callee in solved:
+                    needed[callee] = solved[callee]
+        member_facts = {}
+        for name in scc:
+            if cached_consts is not None:
+                if name in cached_consts:
+                    member_facts[name] = cached_consts[name]
+                continue
+            shard = results.get(f"consts:{unit_of.get(name)}")
+            if shard is not None and name in shard:
+                member_facts[name] = shard[name]
+        return (scc, needed, member_facts)
+
+    return payload_fn
+
+
 @dataclass
 class EngineReport:
     """The merged result of one engine run over the corpus."""
@@ -98,6 +206,9 @@ class EngineReport:
     elapsed_seconds: float = 0.0
     cache_stats: dict[str, int] = field(default_factory=dict)
     summary_stats: dict = field(default_factory=dict)
+    #: Wall-clock breakdown and scheduler counters — timing-dependent, so
+    #: (like ``cache_stats``) excluded from byte-identity comparisons.
+    perf: dict = field(default_factory=dict)
 
     # -- queries ------------------------------------------------------------
 
@@ -123,6 +234,7 @@ class EngineReport:
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "cache_stats": self.cache_stats,
             "summary_stats": self.summary_stats,
+            "perf": self.perf,
             "analyses": {name: report.to_dict()
                          for name, report in self.analyses.items()},
         }
@@ -140,6 +252,7 @@ class EngineReport:
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             cache_stats=dict(payload.get("cache_stats", {})),
             summary_stats=dict(payload.get("summary_stats", {})),
+            perf=dict(payload.get("perf", {})),
         )
         for name, raw in payload.get("analyses", {}).items():
             report.analyses[name] = AnalysisReport.from_dict(raw)
@@ -155,6 +268,24 @@ class EngineReport:
         if self.cache_stats:
             lines.append("cache: {hits} hits, {misses} misses, "
                          "{disk_hits} from disk".format(**self.cache_stats))
+        if self.perf:
+            phases = self.perf.get("phases", {})
+            scheduler = self.perf.get("scheduler", {})
+            lines.append(
+                "perf: parse {parse:.2f}s, artifacts {artifacts:.2f}s, "
+                "checkers {checkers:.2f}s [{mode}]".format(
+                    parse=phases.get("parse", 0.0),
+                    artifacts=phases.get("artifacts", 0.0),
+                    checkers=phases.get("checkers", 0.0),
+                    mode=scheduler.get("mode", "serial")))
+            if "worker_idle_ratio" in scheduler:
+                lines.append(
+                    "scheduler: {tasks} tasks in {chunks} chunks, "
+                    "max ready {max_ready}, idle {idle:.0%}".format(
+                        tasks=scheduler.get("tasks", 0),
+                        chunks=scheduler.get("chunks", 0),
+                        max_ready=scheduler.get("max_ready", 0),
+                        idle=scheduler.get("worker_idle_ratio", 0.0)))
         if self.summary_stats:
             lines.append(
                 "summaries: {functions} functions in {sccs} SCCs "
@@ -235,6 +366,13 @@ class AnalysisEngine:
         #: (0.0 on a cache hit; excluded from deterministic report fields).
         self._consts_cache_hit: bool | None = None
         self._consts_solve_seconds: float = 0.0
+        #: The run's persistent executor (work-steal/inline modes).  Created
+        #: by the first phase that schedules work, reused by every later
+        #: phase of the same run, closed when the run finishes.
+        self._executor = None
+        #: Test hook: ready-queue pick function for the inline executor
+        #: (scrambles completion order to prove determinism).
+        self._inline_pick = None
 
     # -- shared artifacts ---------------------------------------------------
 
@@ -288,17 +426,31 @@ class AnalysisEngine:
         """A ``program_factory`` for the hbench/boot path (see above)."""
         return self.fresh_kernel_program
 
-    def artifacts(self, jobs: int = 1) -> SharedArtifacts:
+    def artifacts(self, jobs: int = 1,
+                  scheduler: str = "wave") -> SharedArtifacts:
         """Shared artifacts for the configured precision (memory-cached).
 
-        With ``jobs > 1`` the interprocedural summary computation is
-        scheduled in SCC waves across a fork pool — components of the same
-        wave are mutually independent, so the merged result is byte-identical
-        with the serial bottom-up order by construction.
+        In ``wave`` mode with ``jobs > 1`` the interprocedural summary
+        computation is scheduled in SCC waves across a fork pool —
+        components of the same wave are mutually independent, so the merged
+        result is byte-identical with the serial bottom-up order by
+        construction.  In ``work-steal``/``inline`` mode the constant-facts
+        and summary phases are instead solved over one dependency-counted
+        task graph on the run's persistent executor (see
+        :meth:`_phase_solver`); the merge replays serial order either way.
         """
         key = self.cache.content_key(
             "artifacts", files=self.files, defines=self.defines,
             extra={"precision": self.precision.name})
+        if scheduler in ("work-steal", "inline"):
+            return self.cache.get_or_build(
+                key,
+                lambda: build_shared_artifacts(
+                    self.program(), self.precision,
+                    phase_solver=lambda program, graph, pointsto, condensation:
+                    self._phase_solver(program, graph, pointsto, condensation,
+                                       jobs, scheduler)),
+                persist=False)
         return self.cache.get_or_build(
             key,
             lambda: build_shared_artifacts(
@@ -412,6 +564,126 @@ class AnalysisEngine:
         finally:
             _SUMMARY_CONTEXT = None
 
+    def _ensure_executor(self, program, graph, pointsto, jobs: int,
+                         scheduler: str):
+        """The run's persistent executor, forked on first use.
+
+        Workers fork *after* points-to resolution (``resolve`` mutates the
+        call graph in place), so the handler's inherited view of the graph
+        is the final one every phase agrees on.
+        """
+        if self._executor is None:
+            handler = _make_steal_handler(program, graph, pointsto,
+                                          self.precision, self.registry)
+            # Forking more workers than cores only adds fork/IPC cost while
+            # time-slicing the same CPUs — clamp the pool to the affinity
+            # mask.  An explicit --jobs >= 2 still gets a real pool (the
+            # floor of 2) so parallel behavior stays testable everywhere.
+            effective = min(jobs, max(2, usable_cpus()))
+            if (scheduler == "inline" or effective < 2
+                    or not fork_available()):
+                self._executor = InlineExecutor(handler,
+                                                pick=self._inline_pick)
+            else:
+                self._executor = WorkStealingExecutor(effective, handler)
+            # Schedule replays compare barrier vs queue at the width the
+            # user asked for, even when the host clamped the real pool.
+            self._executor.stats.sim_jobs = jobs
+        return self._executor
+
+    def _close_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def _phase_solver(self, program, graph, pointsto, condensation,
+                      jobs: int, scheduler: str):
+        """Solve constant facts and summaries as one overlapped task graph.
+
+        Per-TU consts tasks have no dependencies; each SCC task depends on
+        the consts tasks covering its member functions plus its callee SCC
+        tasks — so summary work starts as soon as *its* TUs' facts exist,
+        while other TUs are still being solved, with no phase barrier in
+        between.  Dependency summaries and member facts are late-bound into
+        each task's payload at dispatch, keeping per-task pickle size
+        proportional to the component, not the program.
+
+        Both artifacts keep their existing cache keys: a warm run loads
+        them here without scheduling anything, and serial/wave runs share
+        the entries.  Merging replays the serial order (program order for
+        consts, wave order for summaries), so the artifacts are
+        byte-identical with the serial path no matter when tasks finished.
+        """
+        consts_key = self.cache.content_key(
+            "consts", files=self.files, defines=self.defines,
+            extra={"domains": domain_fingerprint(DEFAULT_DOMAINS)})
+        summaries_key = self.cache.content_key(
+            "summaries", files=self.files, defines=self.defines,
+            extra={"precision": self.precision.name,
+                   "callgraph": callgraph_fingerprint(graph)})
+        consts_hit = self.cache.contains(consts_key)
+        summaries_hit = self.cache.contains(summaries_key)
+        self._consts_cache_hit = consts_hit
+        self._summary_cache_hit = summaries_hit
+        cached_consts = (self.cache.get_or_build(consts_key, dict)
+                         if consts_hit else None)
+        if consts_hit and summaries_hit:
+            return cached_consts, self.cache.get_or_build(summaries_key, dict)
+
+        executor = self._ensure_executor(program, graph, pointsto, jobs,
+                                         scheduler)
+        unit_map = {filename: functions for filename, functions
+                    in unit_function_map(program).items() if functions}
+        unit_of = {name: filename for filename, functions in unit_map.items()
+                   for name in functions}
+
+        tasks: list[Task] = []
+        if not consts_hit:
+            for filename, functions in unit_map.items():
+                tasks.append(Task(id=f"consts:{filename}", kind="consts",
+                                  payload=functions, wave=-1))
+        if not summaries_hit:
+            wave_of = {index: wave_index
+                       for wave_index, wave in enumerate(condensation.waves)
+                       for index in wave}
+            for index, scc in enumerate(condensation.sccs):
+                deps: list[str] = []
+                if not consts_hit:
+                    deps.extend(sorted({f"consts:{unit_of[name]}"
+                                        for name in scc if name in unit_of}))
+                deps.extend(f"scc:{callee}" for callee
+                            in condensation.scc_callees.get(index, ()))
+                tasks.append(Task(
+                    id=f"scc:{index}", kind="scc", deps=tuple(deps),
+                    payload_fn=_scc_payload_fn(scc, graph, condensation,
+                                               unit_of, cached_consts),
+                    wave=wave_of.get(index, 0)))
+
+        results = executor.run(tasks)
+
+        if consts_hit:
+            consts = cached_consts
+        else:
+            merged: dict = {}
+            for filename in unit_map:
+                merged.update(results[f"consts:{filename}"])
+            ordered = {name: merged[name]
+                       for name, _ in program.functions_subset(None)
+                       if name in merged}
+            consts = self.cache.get_or_build(consts_key, lambda: ordered)
+            self._consts_solve_seconds = sum(
+                busy for task_id, busy in executor.stats.task_busy.items()
+                if task_id.startswith("consts:"))
+        if summaries_hit:
+            summaries = self.cache.get_or_build(summaries_key, dict)
+        else:
+            solved: dict = {}
+            for wave in condensation.waves:
+                for index in wave:
+                    solved.update(results[f"scc:{index}"])
+            summaries = self.cache.get_or_build(summaries_key, lambda: solved)
+        return consts, summaries
+
     def summary_stats(self, artifacts: SharedArtifacts) -> dict:
         """Condensation/summary metrics for the report (and the CI bench).
 
@@ -493,17 +765,53 @@ class AnalysisEngine:
                 tasks.append((name, 0, None))
         return tasks
 
-    def run(self, analyses: Iterable[str] | str | None = None,
-            jobs: int = 1) -> EngineReport:
-        """Run the selected analyses over the corpus and merge their reports."""
-        global _WORKER_CONTEXT
-        start = time.perf_counter()
-        names = self.resolve_analyses(analyses)
-        artifacts = self.artifacts(jobs=jobs)
-        tasks = self._build_tasks(names, artifacts)
+    def _run_shards_steal(self, artifacts: SharedArtifacts,
+                          tasks: "list[_Task]", jobs: int, scheduler: str):
+        """Run the checker shards on the run's persistent executor.
 
-        use_parallel = (jobs > 1 and len(tasks) > 1
-                        and "fork" in multiprocessing.get_all_start_methods())
+        The merged artifacts are broadcast once per worker (inbox FIFO
+        order guarantees every shard task dispatched afterwards sees them);
+        per-unit shards then ship only ``(analysis, index, functions)``.
+        Whole-program analyses run inline in the parent, overlapping the
+        pool instead of serializing behind it.
+        """
+        executor = self._ensure_executor(artifacts.program, artifacts.graph,
+                                         artifacts.pointsto, jobs, scheduler)
+        if executor.parallel:
+            executor.broadcast("artifacts", {
+                "consts": artifacts.consts,
+                "condensation": artifacts.condensation,
+                "summaries": artifacts.summaries,
+                "blocking": artifacts.blocking,
+                "irq_handlers": artifacts.irq_handlers,
+                "error_returning": artifacts.error_returning,
+                "annotations": artifacts.annotations,
+            })
+        else:
+            executor.broadcast("shared_artifacts", artifacts)
+        shard_wave = len(artifacts.condensation.waves) + 1
+        steal_tasks: list[Task] = []
+        parent_tasks = []
+        for name, index, functions in tasks:
+            task_id = f"shard:{name}:{index}"
+            if functions is None:
+                parent_tasks.append(
+                    (task_id,
+                     lambda name=name, index=index:
+                     (name, index,
+                      self.registry[name].run_shard(artifacts, None))))
+            else:
+                steal_tasks.append(Task(id=task_id, kind="shard",
+                                        payload=(name, index, functions),
+                                        wave=shard_wave))
+        results = executor.run(steal_tasks, parent_tasks)
+        return list(results.values()), executor.parallel
+
+    def _run_shards_pool(self, artifacts: SharedArtifacts,
+                         tasks: "list[_Task]", jobs: int):
+        """The historical shard phase: one ``Pool.map`` over all shards."""
+        global _WORKER_CONTEXT
+        use_parallel = jobs > 1 and len(tasks) > 1 and fork_available()
         _WORKER_CONTEXT = (artifacts, self.registry)
         try:
             if use_parallel:
@@ -514,6 +822,69 @@ class AnalysisEngine:
                 results = [_run_shard_task(task) for task in tasks]
         finally:
             _WORKER_CONTEXT = None
+        return results, use_parallel
+
+    @staticmethod
+    def _perf_payload(mode: str, phases: dict, executor) -> dict:
+        """The report's timing/scheduler block (normalized out of identity
+        comparisons alongside ``cache_stats``)."""
+        payload = {"phases": {key: round(value, 4)
+                              for key, value in phases.items()}}
+        scheduler_stats = {"mode": mode}
+        if executor is not None:
+            scheduler_stats.update(executor.stats.to_dict())
+            busy = {"consts": 0.0, "scc": 0.0, "shard": 0.0}
+            for task_id, seconds in executor.stats.task_busy.items():
+                kind = task_id.split(":", 1)[0]
+                if kind in busy:
+                    busy[kind] += seconds
+            scheduler_stats["busy_by_phase"] = {
+                key: round(value, 4) for key, value in busy.items()}
+        payload["scheduler"] = scheduler_stats
+        return payload
+
+    def run(self, analyses: Iterable[str] | str | None = None,
+            jobs: int = 1, scheduler: str = "work-steal") -> EngineReport:
+        """Run the selected analyses over the corpus and merge their reports.
+
+        ``jobs=0`` auto-detects ``os.cpu_count()``.  ``scheduler`` selects
+        how parallel work is driven: ``work-steal`` (default) runs consts,
+        summaries and checker shards over one persistent dependency-counted
+        executor with no phase barriers; ``wave`` keeps the historical
+        per-wave pools; ``inline`` exercises the work-steal task graph
+        in-process.  Serial runs (``jobs=1``) bypass the executor entirely.
+        All modes produce byte-identical reports.
+        """
+        if scheduler not in SCHEDULER_MODES:
+            raise ValueError(f"unknown scheduler {scheduler!r} "
+                             f"(known: {', '.join(SCHEDULER_MODES)})")
+        jobs = resolve_jobs(jobs)
+        start = time.perf_counter()
+        phases: dict[str, float] = {}
+        names = self.resolve_analyses(analyses)
+        use_steal = (scheduler == "inline"
+                     or (scheduler == "work-steal" and jobs > 1
+                         and fork_available()))
+        try:
+            step = time.perf_counter()
+            self.program()
+            phases["parse"] = time.perf_counter() - step
+            step = time.perf_counter()
+            artifacts = self.artifacts(
+                jobs=jobs, scheduler=(scheduler if use_steal else "wave"))
+            phases["artifacts"] = time.perf_counter() - step
+            tasks = self._build_tasks(names, artifacts)
+            step = time.perf_counter()
+            if use_steal:
+                results, use_parallel = self._run_shards_steal(
+                    artifacts, tasks, jobs, scheduler)
+            else:
+                results, use_parallel = self._run_shards_pool(
+                    artifacts, tasks, jobs)
+            phases["checkers"] = time.perf_counter() - step
+        finally:
+            executor = self._executor
+            self._close_executor()
 
         shards: dict[str, list[tuple[int, dict]]] = {name: [] for name in names}
         for name, index, payload in results:
@@ -539,4 +910,7 @@ class AnalysisEngine:
                               "const_solve_ms": round(
                                   self._consts_solve_seconds * 1000, 3)}
         report.summary_stats = self.summary_stats(artifacts)
+        mode = ("serial" if not use_parallel and not use_steal
+                else scheduler if use_steal else "wave")
+        report.perf = self._perf_payload(mode, phases, executor)
         return report

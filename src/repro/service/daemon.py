@@ -52,13 +52,15 @@ class AnalysisService:
                  precision: Precision = Precision.TYPE_BASED,
                  poll_seconds: float = 0.5,
                  debounce_seconds: float = 0.3,
+                 jobs: int = 1,
                  verbose: bool = False) -> None:
         self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
         if files is None and self.corpus_dir is not None:
             files = load_corpus_dir(self.corpus_dir)
         kwargs = {} if files is None else {"files": tuple(files)}
         self.analyzer = IncrementalAnalyzer(defines=defines,
-                                            precision=precision, **kwargs)
+                                            precision=precision, jobs=jobs,
+                                            **kwargs)
         self.verbose = verbose
         self.snapshot: Snapshot | None = None
         self.passes = 0
@@ -162,13 +164,14 @@ def serve(corpus_dir: str | Path | None = None,
           defines: dict[str, str] | None = None,
           precision: Precision = Precision.TYPE_BASED,
           poll_seconds: float = 0.5,
+          jobs: int = 1,
           verbose: bool = False) -> None:
     """Run the analysis service until interrupted (the CLI entry point)."""
     from .api import make_server
 
     service = AnalysisService(corpus_dir=corpus_dir, defines=defines,
                               precision=precision, poll_seconds=poll_seconds,
-                              verbose=verbose)
+                              jobs=jobs, verbose=verbose)
     server = make_server(service, host=host, port=port)
     bound_host, bound_port = server.server_address[:2]
     service.start()

@@ -65,7 +65,14 @@ from ..deputy.checker import DeputyOptions
 from ..deputy.typesystem import TypeEnv
 from ..engine.analyses import ANALYSIS_ORDER, diagnostics_report, make_registry
 from ..engine.artifacts import SharedArtifacts, unit_function_map
-from ..engine.core import EngineReport
+from ..engine.core import EngineReport, _make_steal_handler
+from ..engine.scheduler import (
+    Task,
+    WorkStealingExecutor,
+    fork_available,
+    resolve_jobs,
+    usable_cpus,
+)
 from ..blockstop.runtime_checks import RuntimeCheckSet
 from ..kernel.build import PARSE_COUNTS, ParseDiagnostic, _diagnostic_kind
 from ..kernel.corpus import KERNEL_FILES, CorpusFile
@@ -82,6 +89,33 @@ from ..minic.visitor import walk
 
 def _sha(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:32]
+
+
+def _dirty_scc_payload(scc, graph, condensation, consts, clean, dirty):
+    """Late-bound payload for one dirty SCC task.
+
+    Ships ``(scc, needed, member_facts)`` exactly like the engine's steal
+    path, except out-of-component callee summaries can come from *either*
+    a dirty dependency's task result or the clean store (``clean``)."""
+
+    def payload_fn(results):
+        members = set(scc)
+        needed = {}
+        for name in scc:
+            for callee in graph.edges.get(name, ()):
+                if callee in members or callee in needed:
+                    continue
+                owner = condensation.scc_of.get(callee)
+                if owner in dirty:
+                    component = results.get(f"scc:{owner}")
+                    if component is not None and callee in component:
+                        needed[callee] = component[callee]
+                elif callee in clean:
+                    needed[callee] = clean[callee]
+        member_facts = {name: consts[name] for name in scc if name in consts}
+        return (scc, needed, member_facts)
+
+    return payload_fn
 
 
 def _content_key(corpus_file: CorpusFile) -> str:
@@ -168,6 +202,8 @@ class IncrementalStats:
     dirty_functions: list[str] = field(default_factory=list)
     shards_rerun: int = 0
     shards_reused: int = 0
+    #: Worker count the dirty-SCC re-solve actually ran with (0 = serial).
+    parallel_jobs: int = 0
     elapsed_seconds: float = 0.0
 
     def to_dict(self) -> dict:
@@ -185,6 +221,7 @@ class IncrementalStats:
             "dirty_functions": list(self.dirty_functions),
             "shards_rerun": self.shards_rerun,
             "shards_reused": self.shards_reused,
+            "parallel_jobs": self.parallel_jobs,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
         }
 
@@ -195,9 +232,12 @@ class IncrementalAnalyzer:
     ``analyze()`` runs one full pass and returns an :class:`EngineReport`
     byte-identical (up to timing/cache-stat fields) with what a fresh
     :class:`~repro.engine.AnalysisEngine` would produce over the same
-    sources; ``last_stats`` records what the pass reused.  The analyzer is
-    single-threaded by design — the service serializes passes behind a
-    lock and publishes immutable snapshots for readers.
+    sources; ``last_stats`` records what the pass reused.  Passes are
+    serialized — the service runs them behind a lock and publishes
+    immutable snapshots for readers — but *within* a pass the dirty-SCC
+    re-solve can fan out over the engine's work-stealing executor when
+    ``jobs`` allows it (the merge replays serial wave order, so the
+    report stays byte-identical either way).
     """
 
     def __init__(self,
@@ -205,10 +245,14 @@ class IncrementalAnalyzer:
                  defines: dict[str, str] | None = None,
                  precision: Precision = Precision.TYPE_BASED,
                  deputy_options: DeputyOptions | None = None,
-                 runtime_checks: RuntimeCheckSet | None = None) -> None:
+                 runtime_checks: RuntimeCheckSet | None = None,
+                 jobs: int = 1) -> None:
         self.files = tuple(files)
         self.defines = dict(defines or {})
         self.precision = precision
+        #: Worker processes for the dirty-SCC re-solve (0 = auto-detect);
+        #: passes with fewer than two dirty components stay serial.
+        self.jobs = jobs
         self.registry = make_registry(deputy_options, runtime_checks)
         self._printer = PrettyPrinter()
         self._type_registry: TypeRegistry | None = None
@@ -606,8 +650,8 @@ class IncrementalAnalyzer:
         self._consts_store = store
         return consts
 
-    def _solve_summaries(self, program: Program, graph, condensation,
-                         consts: dict, scc_keys: list[str],
+    def _solve_summaries(self, program: Program, graph, pointsto,
+                         condensation, consts: dict, scc_keys: list[str],
                          stats: IncrementalStats) -> dict:
         """Bottom-up solve reusing clean components from the SCC store.
 
@@ -615,8 +659,16 @@ class IncrementalAnalyzer:
         order exactly (dict iteration order is observable downstream);
         dirty components start at lattice bottom with their clean
         dependencies supplied, so the result is the batch least fixpoint.
+        When ``jobs`` allows it the dirty components are pre-solved on the
+        work-stealing executor; the loop below still merges in serial wave
+        order, so parallel and serial passes are byte-identical.
         """
         ctx = build_context(program, graph, consts=consts)
+        dirty_indices = {index for index in range(len(condensation.sccs))
+                         if scc_keys[index] not in self._scc_store}
+        presolved = self._presolve_dirty(program, graph, pointsto,
+                                         condensation, consts, scc_keys,
+                                         dirty_indices, stats)
         solved: dict = {}
         store: dict[str, dict] = {}
         dirty: list[str] = []
@@ -626,7 +678,10 @@ class IncrementalAnalyzer:
                 key = scc_keys[index]
                 component = self._scc_store.get(key)
                 if component is None:
-                    component = solve_scc(scc, ctx, graph, solved)
+                    if presolved is not None:
+                        component = presolved[index]
+                    else:
+                        component = solve_scc(scc, ctx, graph, solved)
                     dirty.extend(scc)
                 else:
                     stats.sccs_reused += 1
@@ -636,6 +691,47 @@ class IncrementalAnalyzer:
         stats.dirty_functions = sorted(dirty)
         self._scc_store = store
         return solved
+
+    def _presolve_dirty(self, program, graph, pointsto, condensation,
+                        consts: dict, scc_keys: list[str],
+                        dirty: set[int],
+                        stats: IncrementalStats) -> dict | None:
+        """Solve the dirty components on a work-stealing pool, or ``None``.
+
+        Only the *dirty* subgraph is scheduled: each dirty SCC depends on
+        its dirty callee components (clean callee summaries come from the
+        store and ship with the task payload), so the pool drains exactly
+        the invalidated slice of the condensation with no barriers.  The
+        pool forks fresh per pass — it must inherit *this* pass's parse.
+        """
+        jobs = resolve_jobs(self.jobs)
+        if jobs < 2 or not fork_available() or len(dirty) < 2:
+            return None
+        effective = min(jobs, max(2, usable_cpus()))
+        clean: dict = {}
+        for index, scc in enumerate(condensation.sccs):
+            if index not in dirty:
+                clean.update(self._scc_store[scc_keys[index]])
+        wave_of = {index: depth
+                   for depth, wave in enumerate(condensation.waves)
+                   for index in wave}
+        tasks = []
+        for index in sorted(dirty):
+            deps = tuple(f"scc:{callee}"
+                         for callee in condensation.scc_callees.get(index, ())
+                         if callee in dirty)
+            tasks.append(Task(
+                id=f"scc:{index}", kind="scc", deps=deps,
+                payload_fn=_dirty_scc_payload(condensation.sccs[index], graph,
+                                              condensation, consts, clean,
+                                              dirty),
+                wave=wave_of.get(index, 0)))
+        handler = _make_steal_handler(program, graph, pointsto,
+                                      self.precision, self.registry)
+        with WorkStealingExecutor(effective, handler) as executor:
+            results = executor.run(tasks)
+        stats.parallel_jobs = effective
+        return {index: results[f"scc:{index}"] for index in sorted(dirty)}
 
     def _shard_key(self, analysis, name: str, filename: str,
                    functions: list[str], loc_hashes: dict[str, str],
@@ -710,8 +806,9 @@ class IncrementalAnalyzer:
         consts = self._solve_consts(program, globals_fp, sem_hashes, stats)
         condensation = condense_callgraph(graph)
         scc_keys = scc_fingerprints(condensation, graph, sem_hashes, globals_fp)
-        summaries = self._solve_summaries(program, graph, condensation,
-                                          consts, scc_keys, stats)
+        summaries = self._solve_summaries(program, graph, pointsto,
+                                          condensation, consts, scc_keys,
+                                          stats)
 
         artifacts = SharedArtifacts(
             program=program,

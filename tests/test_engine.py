@@ -138,6 +138,14 @@ class TestParseOnce:
 # Serial vs parallel
 # ---------------------------------------------------------------------------
 
+def normalized_report(report):
+    """A report's deterministic content: everything but run metadata."""
+    payload = report.to_dict()
+    for key in ("jobs", "parallel", "elapsed_seconds", "cache_stats", "perf"):
+        payload.pop(key, None)
+    return payload
+
+
 class TestParallel:
     def test_parallel_matches_serial(self, engine_report):
         parallel = AnalysisEngine().run(analyses="all", jobs=2)
@@ -147,6 +155,39 @@ class TestParallel:
             parallel_result = parallel.analyses[name]
             assert parallel_result.findings == serial_result.findings, name
             assert parallel_result.metrics == serial_result.metrics, name
+
+    def test_work_steal_report_identical_to_serial(self, engine_report):
+        steal = AnalysisEngine().run(analyses="all", jobs=2,
+                                     scheduler="work-steal")
+        assert normalized_report(steal) == normalized_report(engine_report)
+        scheduler_stats = steal.perf["scheduler"]
+        assert scheduler_stats["mode"] == "work-steal"
+        assert scheduler_stats["tasks"] > 0
+        assert 0.0 <= scheduler_stats["worker_idle_ratio"] <= 1.0
+        assert set(steal.perf["phases"]) >= {"parse", "artifacts", "checkers"}
+
+    def test_wave_mode_report_identical_to_serial(self, engine_report):
+        wave = AnalysisEngine().run(analyses="all", jobs=2, scheduler="wave")
+        assert normalized_report(wave) == normalized_report(engine_report)
+
+    def test_scrambled_completion_order_byte_identical(self, engine_report):
+        """Out-of-order task completion must never change the report.
+
+        The inline executor runs the exact work-steal task graph in-process
+        with an adversarial ready-queue pick, so tasks complete in a
+        scrambled (but dependency-legal) order; the merged report must be
+        byte-identical with the serial run regardless."""
+        import random
+
+        rng = random.Random(20260808)
+        engine = AnalysisEngine()
+        engine._inline_pick = lambda ready: rng.randrange(len(ready))
+        scrambled = engine.run(analyses="all", jobs=1, scheduler="inline")
+        assert normalized_report(scrambled) == normalized_report(engine_report)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            AnalysisEngine().run(analyses="all", jobs=2, scheduler="magic")
 
     def test_jobs_one_stays_serial(self, engine_report):
         assert not engine_report.parallel
@@ -165,7 +206,8 @@ class TestParallel:
         renders = []
         for report in (engine_report, parallel):
             payload = report.to_dict()
-            for key in ("jobs", "parallel", "elapsed_seconds", "cache_stats"):
+            for key in ("jobs", "parallel", "elapsed_seconds", "cache_stats",
+                        "perf"):
                 payload.pop(key, None)
             path = tmp_path / f"report-{len(renders)}.json"
             path.write_text(json.dumps(payload, sort_keys=True))
@@ -332,6 +374,41 @@ class TestCli:
         code = cli_main(["run", "--analyses", "blockstop", "--fail-on-findings"])
         capsys.readouterr()
         assert code == 1  # the corpus's seeded bugs are findings
+
+    def test_gen_corpus_writes_and_resumes(self, tmp_path, capsys):
+        target = tmp_path / "scale"
+        assert cli_main(["gen-corpus", str(target), "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "11 files" in out and "11 written" in out
+        # A re-run is a no-op: every file's content hash already matches.
+        assert cli_main(["gen-corpus", str(target), "--scale", "1"]) == 0
+        assert "11 up to date" in capsys.readouterr().out
+
+    def test_gen_corpus_rejects_bad_scale(self, tmp_path, capsys):
+        assert cli_main(["gen-corpus", str(tmp_path / "x"), "--scale", "0"]) == 2
+        assert "scale" in capsys.readouterr().err
+
+    def test_run_analyzes_generated_corpus_dir(self, tmp_path, capsys):
+        target = tmp_path / "scale"
+        assert cli_main(["gen-corpus", str(target), "--scale", "1"]) == 0
+        capsys.readouterr()
+        code = cli_main(["run", "--analyses", "lockcheck", "--corpus-dir",
+                         str(target), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["corpus_files"]) == 11
+
+    def test_bench_entry_records_tag_and_perf(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        code = cli_main(["run", "--analyses", "lockcheck", "--bench-json",
+                         str(bench), "--bench-tag", "scale"])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(bench.read_text())
+        (entry,) = payload["runs"]
+        assert entry["tag"] == "scale"
+        assert "phases" in entry["perf"]
+        assert entry["perf"]["scheduler"]["mode"] == "serial"
 
 
 # ---------------------------------------------------------------------------
