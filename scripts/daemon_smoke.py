@@ -7,7 +7,10 @@ real subprocess, and checks the full loop:
 1. `/health` turns 200 within the startup budget;
 2. `/findings` matches `repro-engine run` byte-for-byte;
 3. an on-disk edit is picked up by the watcher and re-analyzed
-   *incrementally* (no full re-parse, SCCs reused).
+   *incrementally* (no full re-parse, SCCs reused);
+4. a *restarted* serve over the unchanged corpus warm-starts from the
+   persistent store: its first pass re-solves 0 SCCs and serves findings
+   byte-identical to the pre-restart snapshot.
 
 Exit status 0 on success; any failure prints the reason and exits 1.
 Run from a source checkout: `python scripts/daemon_smoke.py`.
@@ -52,9 +55,47 @@ def wait_for(predicate, budget: float, what: str):
     fail(f"timed out after {budget}s waiting for {what}")
 
 
+def start_serve(corpus: Path, store: Path) -> tuple[subprocess.Popen, int]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.engine", "serve",
+         "--corpus-dir", str(corpus), "--port", "0",
+         "--poll-seconds", "0.2", "--store-dir", str(store)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    banner = proc.stdout.readline().strip()
+    print(banner)
+    if "http://" not in banner:
+        fail(f"unexpected serve banner: {banner!r}")
+    address = banner.split("http://")[1].split(",")[0].strip()
+    return proc, int(address.rsplit(":", 1)[1])
+
+
+def wait_healthy(proc: subprocess.Popen, port: int) -> dict:
+    def healthy():
+        if proc.poll() is not None:
+            fail(f"serve exited early: {proc.stdout.read()}")
+        status, payload = get(port, "/health")
+        return payload if status == 200 else None
+
+    return wait_for(healthy, STARTUP_BUDGET_SECONDS,
+                    "/health to report ready")
+
+
+def stop_serve(proc: subprocess.Popen) -> None:
+    proc.terminate()
+    try:
+        proc.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+
+def sorted_findings(findings: list[dict]) -> list[dict]:
+    return sorted(findings, key=lambda f: json.dumps(f, sort_keys=True))
+
+
 def main() -> None:
     with tempfile.TemporaryDirectory(prefix="repro-daemon-smoke-") as tmp:
         corpus = Path(tmp) / "corpus"
+        store = Path(tmp) / "store"
         run = subprocess.run(
             [sys.executable, "-m", "repro.engine", "export-corpus",
              str(corpus)], check=True, capture_output=True, text=True)
@@ -65,41 +106,20 @@ def main() -> None:
              "--corpus-dir", str(corpus), "--format", "json"],
             check=True, capture_output=True, text=True)
         batch_report = json.loads(batch.stdout)
-        batch_findings = sorted(
-            (finding
+        batch_findings = sorted_findings(
+            [finding
              for analysis in batch_report["analyses"].values()
-             for finding in analysis["findings"]),
-            key=lambda f: json.dumps(f, sort_keys=True))
+             for finding in analysis["findings"]])
 
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.engine", "serve",
-             "--corpus-dir", str(corpus), "--port", "0",
-             "--poll-seconds", "0.2"],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        proc, port = start_serve(corpus, store)
         try:
-            banner = proc.stdout.readline().strip()
-            print(banner)
-            if "http://" not in banner:
-                fail(f"unexpected serve banner: {banner!r}")
-            address = banner.split("http://")[1].split(",")[0].strip()
-            port = int(address.rsplit(":", 1)[1])
-
-            def healthy():
-                if proc.poll() is not None:
-                    fail(f"serve exited early: {proc.stdout.read()}")
-                status, payload = get(port, "/health")
-                return payload if status == 200 else None
-
-            health = wait_for(healthy, STARTUP_BUDGET_SECONDS,
-                              "/health to report ready")
+            health = wait_healthy(proc, port)
             print(f"health: revision={health['revision']}")
 
             status, served = get(port, "/findings")
             if status != 200:
                 fail(f"/findings returned {status}")
-            served_findings = sorted(
-                served["findings"],
-                key=lambda f: json.dumps(f, sort_keys=True))
+            served_findings = sorted_findings(served["findings"])
             if served_findings != batch_findings:
                 fail("served findings differ from `repro-engine run`")
             print(f"findings: {served['count']} (matches batch run)")
@@ -128,13 +148,44 @@ def main() -> None:
                 fail("edit pass fell back to a full re-parse")
             if last["sccs_reused"] == 0:
                 fail("edit pass reused no SCC summaries")
+
+            status, pre_restart = get(port, "/findings")
+            if status != 200:
+                fail(f"/findings (pre-restart) returned {status}")
+        finally:
+            stop_serve(proc)
+
+        # Restart over the unchanged corpus: the fresh process must warm-
+        # start from the persistent store instead of paying a cold pass.
+        proc, port = start_serve(corpus, store)
+        try:
+            wait_healthy(proc, port)
+            status, stats = get(port, "/stats")
+            if status != 200:
+                fail(f"/stats (restart) returned {status}")
+            last = stats["last_pass"]
+            print("restart pass: "
+                  f"dirty_sccs={last['dirty_sccs']} "
+                  f"consts_solved={last['consts_solved']} "
+                  f"shards_rerun={last['shards_rerun']} "
+                  f"store_hits={last['store_hits']}")
+            if last["dirty_sccs"] != 0:
+                fail("warm restart re-solved SCCs "
+                     f"(dirty_sccs={last['dirty_sccs']})")
+            if last["shards_rerun"] != 0:
+                fail("warm restart re-ran finding shards")
+            if last["store_hits"] == 0:
+                fail("warm restart never hit the persistent store")
+            status, served = get(port, "/findings")
+            if status != 200:
+                fail(f"/findings (restart) returned {status}")
+            if sorted_findings(served["findings"]) != sorted_findings(
+                    pre_restart["findings"]):
+                fail("warm-restart findings differ from pre-restart snapshot")
+            print(f"restart findings: {served['count']} (byte-identical)")
             print("daemon-smoke: OK")
         finally:
-            proc.terminate()
-            try:
-                proc.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                proc.kill()
+            stop_serve(proc)
 
 
 if __name__ == "__main__":

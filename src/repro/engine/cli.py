@@ -56,6 +56,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "Pool.map-per-wave barrier mode; 'inline' runs "
                           "the work-steal task graph in-process (for "
                           "debugging/determinism checks)")
+    run.add_argument("--chunk", type=int, default=None,
+                     help="max tasks per work-steal dispatch batch "
+                          "(default: the scheduler's MAX_CHUNK); recorded "
+                          "in --bench-json entries for tuning sweeps")
     run.add_argument("--cache-dir", default=None,
                      help="directory for the on-disk artifact cache")
     run.add_argument("--precision", default="type_based",
@@ -159,6 +163,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "0 auto-detects the machine's CPU count")
     serve.add_argument("--poll-seconds", type=float, default=0.5,
                        help="corpus poll interval")
+    serve.add_argument("--store-dir", default=None,
+                       help="directory for the persistent warm-start store; "
+                            "a restarted serve over an unchanged corpus "
+                            "re-solves ~0 SCCs from it")
+    serve.add_argument("--store-max-mb", type=float, default=None,
+                       help="LRU-evict the warm-start store beyond this "
+                            "size (requires --store-dir)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -189,7 +200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     report = engine.run(analyses=names, jobs=args.jobs,
-                        scheduler=args.scheduler)
+                        scheduler=args.scheduler, chunk=args.chunk)
     incremental = (_bench_incremental(files, precision)
                    if args.bench_incremental else None)
     if args.output:
@@ -207,29 +218,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _bench_incremental(files: "tuple[CorpusFile, ...]",
                        precision: Precision) -> dict:
-    """Time the incremental analyzer: cold pass, then a one-TU touch.
+    """Time the incremental analyzer: cold pass, one-TU touch, warm restart.
 
     The touch appends a fresh no-op function to the last translation unit —
     a body-level edit that must dirty exactly one SCC (the new singleton)
     and re-parse exactly one unit; the entry records how far the pass
     actually was from that ideal alongside its wall time.
+
+    The warm-restart leg simulates killing and restarting ``serve`` over an
+    unchanged corpus: a *fresh* analyzer pointed at the persistent store the
+    cold pass filled must re-solve 0 consts/SCCs/shards.
     """
     import dataclasses
+    import tempfile
     import time
 
     from ..service.incremental import IncrementalAnalyzer
+    from ..service.store import PersistentStore
 
-    analyzer = IncrementalAnalyzer(files=files, precision=precision)
-    start = time.perf_counter()
-    analyzer.analyze()
-    cold_seconds = time.perf_counter() - start
-    touched = dataclasses.replace(
-        files[-1],
-        source=files[-1].source + "\nint __bench_touch(void) { return 0; }\n")
-    start = time.perf_counter()
-    analyzer.analyze(files[:-1] + (touched,))
-    touch_seconds = time.perf_counter() - start
-    stats = analyzer.last_stats
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = PersistentStore(tmp)
+        analyzer = IncrementalAnalyzer(files=files, precision=precision,
+                                       store=store)
+        start = time.perf_counter()
+        analyzer.analyze()
+        cold_seconds = time.perf_counter() - start
+        touched = dataclasses.replace(
+            files[-1],
+            source=files[-1].source
+            + "\nint __bench_touch(void) { return 0; }\n")
+        start = time.perf_counter()
+        analyzer.analyze(files[:-1] + (touched,))
+        touch_seconds = time.perf_counter() - start
+        stats = analyzer.last_stats
+
+        restarted = IncrementalAnalyzer(files=files, precision=precision,
+                                        store=store)
+        start = time.perf_counter()
+        restarted.analyze()
+        warm_seconds = time.perf_counter() - start
+        warm = restarted.last_stats
+        store.close()
     return {
         "cold_seconds": round(cold_seconds, 4),
         "touch_seconds": round(touch_seconds, 4),
@@ -238,6 +267,13 @@ def _bench_incremental(files: "tuple[CorpusFile, ...]",
         "sccs_reused": stats.sccs_reused,
         "shards_rerun": stats.shards_rerun,
         "full_reparse": stats.full_reparse,
+        "warm_restart": {
+            "seconds": round(warm_seconds, 4),
+            "consts_solved": warm.consts_solved,
+            "dirty_sccs": warm.dirty_sccs,
+            "shards_rerun": warm.shards_rerun,
+            "store_hits": warm.store_hits,
+        },
     }
 
 
@@ -268,6 +304,11 @@ def _append_bench_entry(path: str, report: EngineReport,
         entry["tag"] = tag
     if report.perf:
         entry["perf"] = report.perf
+        scheduler = report.perf.get("scheduler", {})
+        if "max_chunk" in scheduler:
+            entry["chunk"] = scheduler["max_chunk"]
+        if "worker_idle_ratio" in scheduler:
+            entry["worker_idle_ratio"] = scheduler["worker_idle_ratio"]
     deputy = report.analyses.get("deputy")
     if deputy is not None:
         entry["deputy_checks_discharged"] = deputy.metrics.get(
@@ -563,6 +604,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     serve(corpus_dir=args.corpus_dir, host=args.host, port=args.port,
           precision=Precision[args.precision.upper()],
           poll_seconds=args.poll_seconds, jobs=args.jobs,
+          store_dir=args.store_dir, store_max_mb=args.store_max_mb,
           verbose=args.verbose)
     return 0
 

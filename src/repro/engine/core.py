@@ -160,14 +160,16 @@ def _make_steal_handler(program, graph, pointsto, precision, registry):
     return handler
 
 
-def _scc_payload_fn(scc, graph, condensation, unit_of, cached_consts):
+def _scc_payload_fn(scc, graph, condensation, unit_of, cached_consts,
+                    spec_facts=None):
     """Late-bound payload for one SCC task: assembled at dispatch time from
     the results of the tasks it depends on.
 
     Ships ``(scc, needed, member_facts)`` — the out-of-component callee
     summaries this component's fixpoint can look up, and the constant
-    facts of its member functions (from the members' consts tasks, or the
-    cached artifact when this run only re-solves summaries)."""
+    facts of its member functions (from the members' consts tasks, the
+    parse workers' speculative solves, or the cached artifact when this
+    run only re-solves summaries)."""
 
     def payload_fn(results):
         members = set(scc)
@@ -185,6 +187,9 @@ def _scc_payload_fn(scc, graph, condensation, unit_of, cached_consts):
             if cached_consts is not None:
                 if name in cached_consts:
                     member_facts[name] = cached_consts[name]
+                continue
+            if spec_facts is not None and name in spec_facts:
+                member_facts[name] = spec_facts[name]
                 continue
             shard = results.get(f"consts:{unit_of.get(name)}")
             if shard is not None and name in shard:
@@ -373,6 +378,15 @@ class AnalysisEngine:
         #: Test hook: ready-queue pick function for the inline executor
         #: (scrambles completion order to prove determinism).
         self._inline_pick = None
+        #: Stats from the last parallel parse (None when the serial parser
+        #: built the program), and the constant facts its workers solved
+        #: speculatively while parsing — exact ``facts_of`` results for
+        #: functions of adopted TUs, so the consts phase skips them.
+        self._parse_stats = None
+        self._speculative_facts: dict = {}
+        #: Dispatch chunk override for the work-stealing executor
+        #: (``--chunk``); None keeps the scheduler default.
+        self._chunk: int | None = None
 
     # -- shared artifacts ---------------------------------------------------
 
@@ -381,18 +395,44 @@ class AnalysisEngine:
         return self.cache.content_key(kind, files=self.files,
                                       defines=self.defines)
 
-    def program(self) -> Program:
-        """The parsed, linked corpus — built at most once per content key."""
-        if self.tolerant:
-            return self._tolerant_parse()[0]
-        return self.cache.get_or_build(
-            self.program_key(),
-            lambda: parse_corpus(self.files, self.defines))
+    def program(self, jobs: int = 1,
+                parse_mode: str | None = None) -> Program:
+        """The parsed, linked corpus — built at most once per content key.
 
-    def _tolerant_parse(self) -> "tuple[Program, tuple[ParseDiagnostic, ...]]":
-        return self.cache.get_or_build(
-            self.program_key(),
-            lambda: parse_corpus_tolerant(self.files, self.defines))
+        With ``jobs > 1`` (or an explicit ``parse_mode``) the build runs the
+        two-pass speculative parallel parser instead of the serial
+        front-end; the replay pass makes the result byte-identical either
+        way, so both paths share one cache key.
+        """
+        if self.tolerant:
+            return self._tolerant_parse(jobs, parse_mode)[0]
+
+        def build() -> Program:
+            if jobs > 1 or parse_mode is not None:
+                from ..kernel.parallel import parse_corpus_parallel
+                result = parse_corpus_parallel(
+                    self.files, self.defines, jobs=jobs, mode=parse_mode)
+                self._parse_stats = result.stats
+                self._speculative_facts = dict(result.facts)
+                return result.program
+            return parse_corpus(self.files, self.defines)
+
+        return self.cache.get_or_build(self.program_key(), build)
+
+    def _tolerant_parse(self, jobs: int = 1, parse_mode: str | None = None
+                        ) -> "tuple[Program, tuple[ParseDiagnostic, ...]]":
+        def build():
+            if jobs > 1 or parse_mode is not None:
+                from ..kernel.parallel import parse_corpus_parallel
+                result = parse_corpus_parallel(
+                    self.files, self.defines, jobs=jobs, tolerant=True,
+                    mode=parse_mode)
+                self._parse_stats = result.stats
+                self._speculative_facts = dict(result.facts)
+                return (result.program, result.diagnostics)
+            return parse_corpus_tolerant(self.files, self.defines)
+
+        return self.cache.get_or_build(self.program_key(), build)
 
     def parse_diagnostics(self) -> tuple[ParseDiagnostic, ...]:
         """Per-file frontend errors (tolerant mode only; else empty)."""
@@ -584,8 +624,14 @@ class AnalysisEngine:
                     or not fork_available()):
                 self._executor = InlineExecutor(handler,
                                                 pick=self._inline_pick)
+                if self._chunk is not None:
+                    # Inline dispatch is one-at-a-time, but the stats still
+                    # record the requested cap so bench entries compare
+                    # like-for-like across hosts.
+                    self._executor.stats.max_chunk = self._chunk
             else:
-                self._executor = WorkStealingExecutor(effective, handler)
+                self._executor = WorkStealingExecutor(effective, handler,
+                                                      chunk=self._chunk)
             # Schedule replays compare barrier vs queue at the width the
             # user asked for, even when the host clamped the real pool.
             self._executor.stats.sim_jobs = jobs
@@ -637,11 +683,23 @@ class AnalysisEngine:
         unit_of = {name: filename for filename, functions in unit_map.items()
                    for name in functions}
 
+        # Facts the parallel parse workers already solved while parsing:
+        # exact facts_of results, so their functions need no consts task.
+        # A unit fully covered schedules nothing; partially covered units
+        # get a shrunken payload of just the missing names.
+        spec_facts = self._speculative_facts if not consts_hit else {}
+        solved_units: set[str] = set()
+
         tasks: list[Task] = []
         if not consts_hit:
             for filename, functions in unit_map.items():
+                missing = [name for name in functions
+                           if name not in spec_facts]
+                if not missing:
+                    solved_units.add(filename)
+                    continue
                 tasks.append(Task(id=f"consts:{filename}", kind="consts",
-                                  payload=functions, wave=-1))
+                                  payload=missing, wave=-1))
         if not summaries_hit:
             wave_of = {index: wave_index
                        for wave_index, wave in enumerate(condensation.waves)
@@ -650,13 +708,16 @@ class AnalysisEngine:
                 deps: list[str] = []
                 if not consts_hit:
                     deps.extend(sorted({f"consts:{unit_of[name]}"
-                                        for name in scc if name in unit_of}))
+                                        for name in scc
+                                        if name in unit_of
+                                        and unit_of[name] not in solved_units}))
                 deps.extend(f"scc:{callee}" for callee
                             in condensation.scc_callees.get(index, ()))
                 tasks.append(Task(
                     id=f"scc:{index}", kind="scc", deps=tuple(deps),
                     payload_fn=_scc_payload_fn(scc, graph, condensation,
-                                               unit_of, cached_consts),
+                                               unit_of, cached_consts,
+                                               spec_facts or None),
                     wave=wave_of.get(index, 0)))
 
         results = executor.run(tasks)
@@ -664,8 +725,10 @@ class AnalysisEngine:
         if consts_hit:
             consts = cached_consts
         else:
-            merged: dict = {}
+            merged: dict = dict(spec_facts)
             for filename in unit_map:
+                if filename in solved_units:
+                    continue
                 merged.update(results[f"consts:{filename}"])
             ordered = {name: merged[name]
                        for name, _ in program.functions_subset(None)
@@ -844,7 +907,8 @@ class AnalysisEngine:
         return payload
 
     def run(self, analyses: Iterable[str] | str | None = None,
-            jobs: int = 1, scheduler: str = "work-steal") -> EngineReport:
+            jobs: int = 1, scheduler: str = "work-steal",
+            chunk: int | None = None) -> EngineReport:
         """Run the selected analyses over the corpus and merge their reports.
 
         ``jobs=0`` auto-detects ``os.cpu_count()``.  ``scheduler`` selects
@@ -853,12 +917,19 @@ class AnalysisEngine:
         executor with no phase barriers; ``wave`` keeps the historical
         per-wave pools; ``inline`` exercises the work-steal task graph
         in-process.  Serial runs (``jobs=1``) bypass the executor entirely.
-        All modes produce byte-identical reports.
+        ``chunk`` caps the executor's dispatch batch (``--chunk``).  All
+        modes produce byte-identical reports.
+
+        Parallel runs also parse in parallel: the two-pass speculative
+        front-end hands adopted TUs' speculative constant facts straight to
+        the consts phase, so per-TU solving effectively starts before the
+        last TU finishes parsing.
         """
         if scheduler not in SCHEDULER_MODES:
             raise ValueError(f"unknown scheduler {scheduler!r} "
                              f"(known: {', '.join(SCHEDULER_MODES)})")
         jobs = resolve_jobs(jobs)
+        self._chunk = chunk
         start = time.perf_counter()
         phases: dict[str, float] = {}
         names = self.resolve_analyses(analyses)
@@ -867,7 +938,9 @@ class AnalysisEngine:
                          and fork_available()))
         try:
             step = time.perf_counter()
-            self.program()
+            self.program(jobs=jobs if use_steal else 1,
+                         parse_mode=("inline" if scheduler == "inline"
+                                     else None))
             phases["parse"] = time.perf_counter() - step
             step = time.perf_counter()
             artifacts = self.artifacts(
@@ -913,4 +986,6 @@ class AnalysisEngine:
         mode = ("serial" if not use_parallel and not use_steal
                 else scheduler if use_steal else "wave")
         report.perf = self._perf_payload(mode, phases, executor)
+        if self._parse_stats is not None:
+            report.perf["parse"] = self._parse_stats.to_dict()
         return report

@@ -116,6 +116,8 @@ class SchedulerStats:
     """
 
     jobs: int = 1
+    #: Dispatch batch cap in effect (``--chunk``, default ``MAX_CHUNK``).
+    max_chunk: int = MAX_CHUNK
     tasks: int = 0
     chunks: int = 0
     broadcasts: int = 0
@@ -210,6 +212,7 @@ class SchedulerStats:
         return {
             "jobs": self.jobs,
             "sim_jobs": self._width(),
+            "max_chunk": self.max_chunk,
             "tasks": self.tasks,
             "chunks": self.chunks,
             "broadcasts": self.broadcasts,
@@ -390,14 +393,18 @@ class WorkStealingExecutor:
 
     parallel = True
 
-    def __init__(self, jobs: int, handler: TaskHandler) -> None:
+    def __init__(self, jobs: int, handler: TaskHandler,
+                 chunk: int | None = None) -> None:
         if jobs < 2:
             raise ValueError("WorkStealingExecutor needs jobs >= 2; "
                              "use InlineExecutor for serial runs")
         if not fork_available():
             raise RuntimeError("fork start method unavailable")
+        if chunk is not None and chunk < 1:
+            raise ValueError("chunk must be >= 1")
         self.jobs = jobs
-        self.stats = SchedulerStats(jobs=jobs)
+        self.max_chunk = chunk if chunk is not None else MAX_CHUNK
+        self.stats = SchedulerStats(jobs=jobs, max_chunk=self.max_chunk)
         context = multiprocessing.get_context("fork")
         self._results = context.Queue()
         self._inboxes = []
@@ -430,7 +437,7 @@ class WorkStealingExecutor:
                   results: dict) -> None:
         """Hand ready tasks to idle workers, chunking large backlogs."""
         while idle and graph.ready:
-            chunk_size = max(1, min(MAX_CHUNK,
+            chunk_size = max(1, min(self.max_chunk,
                                     len(graph.ready) // (self.jobs * 2)))
             batch = graph.pop_ready(chunk_size)
             worker_id = idle.pop()

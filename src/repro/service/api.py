@@ -16,6 +16,9 @@ Endpoints (all JSON, UTF-8, sorted keys):
   (the CLI callgraph payload) plus its SCC membership; 404 when unknown.
 * ``GET /stats`` — service counters plus the last pass's incremental stats.
 * ``POST /analyze`` — force a reconcile pass now; returns its stats.
+  Concurrent requests coalesce: while a pass runs, one follow-up pass is
+  queued and later arrivals ride on it (``"coalesced": true``) instead of
+  stacking up redundant full passes.
 
 Handlers read one immutable snapshot reference and serve entirely from it,
 so requests never block behind a running re-analysis (except ``/analyze``,
@@ -82,9 +85,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         route = urlparse(self.path).path.rstrip("/")
         if route == "/analyze":
-            snapshot = self.service.reconcile()
+            snapshot, coalesced = self.service.request_reconcile()
             self._reply(200, {"status": "ok",
                               "revision": snapshot.revision,
+                              "coalesced": coalesced,
                               "finding_count": snapshot.report.finding_count,
                               "stats": snapshot.stats.to_dict()})
         else:

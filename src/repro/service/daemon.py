@@ -22,6 +22,7 @@ from ..blockstop.pointsto import Precision
 from ..engine.artifacts import SharedArtifacts
 from ..engine.core import EngineReport
 from .incremental import IncrementalAnalyzer, IncrementalStats
+from .store import PersistentStore
 from .watcher import CorpusWatcher, load_corpus_dir
 
 
@@ -53,19 +54,33 @@ class AnalysisService:
                  poll_seconds: float = 0.5,
                  debounce_seconds: float = 0.3,
                  jobs: int = 1,
+                 store_dir: str | Path | None = None,
+                 store_max_mb: float | None = None,
                  verbose: bool = False) -> None:
         self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
         if files is None and self.corpus_dir is not None:
             files = load_corpus_dir(self.corpus_dir)
         kwargs = {} if files is None else {"files": tuple(files)}
+        #: The persistent warm-start store: a restarted serve re-solves ~0
+        #: SCCs on an unchanged corpus because every fingerprint the
+        #: analyzer computes hits the spilled artifact on disk.
+        self.store = (PersistentStore(store_dir, max_mb=store_max_mb)
+                      if store_dir is not None else None)
         self.analyzer = IncrementalAnalyzer(defines=defines,
                                             precision=precision, jobs=jobs,
+                                            store=self.store,
                                             **kwargs)
         self.verbose = verbose
         self.snapshot: Snapshot | None = None
         self.passes = 0
         self.started = time.monotonic()
         self._reconcile_lock = threading.Lock()
+        #: Coalescing gate state: at most one pass runs and at most one
+        #: waits queued; later requests ride on the queued pass's snapshot.
+        self._gate = threading.Condition()
+        self._running = False
+        self._queued = False
+        self._pass_seq = 0
         self._totals = {"parsed_units": 0, "consts_solved": 0,
                         "dirty_sccs": 0, "sccs_reused": 0,
                         "shards_rerun": 0, "shards_reused": 0,
@@ -73,7 +88,8 @@ class AnalysisService:
         #: revision -> that pass's findings, for ``GET /findings?since=``.
         #: Insertion-ordered; trimmed to FINDINGS_HISTORY_LIMIT entries.
         self._findings_history: dict[int, list[dict]] = {}
-        self.watcher = (CorpusWatcher(self.corpus_dir, self.reconcile,
+        self.watcher = (CorpusWatcher(self.corpus_dir,
+                                      self._watcher_reconcile,
                                       poll_seconds=poll_seconds,
                                       debounce_seconds=debounce_seconds)
                         if self.corpus_dir is not None else None)
@@ -110,13 +126,54 @@ class AnalysisService:
             self.passes += 1
             return snapshot
 
+    def request_reconcile(self) -> "tuple[Snapshot | None, bool]":
+        """Run — or coalesce onto — an analysis pass; returns
+        ``(snapshot, coalesced)``.
+
+        At most one pass runs and at most one sits queued behind it.  A
+        request arriving while a pass is in flight becomes the queued
+        runner (it still gets a pass that starts *after* its arrival, so
+        it observes its own edits); any request arriving while both slots
+        are taken waits for the queued pass and rides on its snapshot —
+        that pass also starts after the request arrived, so merging them
+        loses nothing.  Keeps a watcher burst plus concurrent ``POST
+        /analyze`` calls from stacking up N redundant full passes.
+        """
+        with self._gate:
+            if not self._running:
+                self._running = True
+            elif not self._queued:
+                self._queued = True
+                while self._running:
+                    self._gate.wait()
+                self._queued = False
+                self._running = True
+            else:
+                # Both slots taken: the queued pass has not started yet, so
+                # its snapshot will cover this request's changes too.
+                target = self._pass_seq + 2
+                while self._pass_seq < target:
+                    self._gate.wait()
+                return self.snapshot, True
+        try:
+            snapshot = self.reconcile()
+        finally:
+            with self._gate:
+                self._running = False
+                self._pass_seq += 1
+                self._gate.notify_all()
+        return snapshot, False
+
+    def _watcher_reconcile(self) -> None:
+        self.request_reconcile()
+
     def findings_at(self, revision: int) -> list[dict] | None:
         """The findings published at ``revision``, if still in the window."""
         return self._findings_history.get(revision)
 
     def start(self) -> None:
         """Kick off the initial pass (in the background) and the watcher."""
-        threading.Thread(target=self.reconcile,
+        threading.Thread(target=self._watcher_reconcile,
                          name="repro-initial-reconcile",
                          daemon=True).start()
         if self.watcher is not None:
@@ -138,6 +195,8 @@ class AnalysisService:
                          if self.corpus_dir is not None else None),
             "totals": dict(self._totals),
         }
+        if self.store is not None:
+            payload["store"] = self.store.stats()
         if snapshot is not None:
             payload.update({
                 "revision": snapshot.revision,
@@ -165,13 +224,16 @@ def serve(corpus_dir: str | Path | None = None,
           precision: Precision = Precision.TYPE_BASED,
           poll_seconds: float = 0.5,
           jobs: int = 1,
+          store_dir: str | Path | None = None,
+          store_max_mb: float | None = None,
           verbose: bool = False) -> None:
     """Run the analysis service until interrupted (the CLI entry point)."""
     from .api import make_server
 
     service = AnalysisService(corpus_dir=corpus_dir, defines=defines,
                               precision=precision, poll_seconds=poll_seconds,
-                              jobs=jobs, verbose=verbose)
+                              jobs=jobs, store_dir=store_dir,
+                              store_max_mb=store_max_mb, verbose=verbose)
     server = make_server(service, host=host, port=port)
     bound_host, bound_port = server.server_address[:2]
     service.start()

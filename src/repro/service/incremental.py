@@ -204,6 +204,10 @@ class IncrementalStats:
     shards_reused: int = 0
     #: Worker count the dirty-SCC re-solve actually ran with (0 = serial).
     parallel_jobs: int = 0
+    #: Artifacts served from the persistent store (cold-start warm hits).
+    store_hits: int = 0
+    #: Artifacts written through to the persistent store this pass.
+    store_writes: int = 0
     elapsed_seconds: float = 0.0
 
     def to_dict(self) -> dict:
@@ -222,6 +226,8 @@ class IncrementalStats:
             "shards_rerun": self.shards_rerun,
             "shards_reused": self.shards_reused,
             "parallel_jobs": self.parallel_jobs,
+            "store_hits": self.store_hits,
+            "store_writes": self.store_writes,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
         }
 
@@ -246,10 +252,15 @@ class IncrementalAnalyzer:
                  precision: Precision = Precision.TYPE_BASED,
                  deputy_options: DeputyOptions | None = None,
                  runtime_checks: RuntimeCheckSet | None = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1,
+                 store=None) -> None:
         self.files = tuple(files)
         self.defines = dict(defines or {})
         self.precision = precision
+        #: Optional :class:`repro.service.store.PersistentStore`: the
+        #: in-memory artifact stores spill through it, so a fresh analyzer
+        #: over an unchanged corpus warm-starts with ~0 dirty SCCs.
+        self.store = store
         #: Worker processes for the dirty-SCC re-solve (0 = auto-detect);
         #: passes with fewer than two dirty components stay serial.
         self.jobs = jobs
@@ -636,18 +647,37 @@ class IncrementalAnalyzer:
         consts: dict = {}
         store: dict[str, tuple[tuple[str, str, str], object]] = {}
         domains = domain_fingerprint(DEFAULT_DOMAINS)
+        # Values are wrapped in a 1-tuple on disk: ``None`` is a legitimate
+        # artifact (branchless function), so a bare miss must be
+        # distinguishable from a stored ``None``.
+        disk_writes: list[tuple[str, tuple]] = []
+        disk_touches: list[str] = []
         for name, func in program.functions_subset(None):
             key = (sem_hashes[name], globals_fp, domains)
+            disk_key = _sha("\x00".join(key))
             cached = self._consts_store.get(name)
             if cached is not None and cached[0] == key:
                 value = cached[1]
                 stats.consts_reused += 1
+                disk_touches.append(disk_key)
             else:
-                value = facts_of(func)
-                stats.consts_solved += 1
+                wrapped = (self.store.get("consts", disk_key)
+                           if self.store is not None else None)
+                if wrapped is not None:
+                    value = wrapped[0]
+                    stats.consts_reused += 1
+                    stats.store_hits += 1
+                else:
+                    value = facts_of(func)
+                    stats.consts_solved += 1
+                    disk_writes.append((disk_key, (value,)))
             consts[name] = value
             store[name] = (key, value)
         self._consts_store = store
+        if self.store is not None:
+            self.store.put_many("consts", disk_writes)
+            self.store.touch("consts", disk_touches)
+            stats.store_writes += len(disk_writes)
         return consts
 
     def _solve_summaries(self, program: Program, graph, pointsto,
@@ -664,32 +694,58 @@ class IncrementalAnalyzer:
         order, so parallel and serial passes are byte-identical.
         """
         ctx = build_context(program, graph, consts=consts)
+        # Components missing from memory may still be on disk: prefetch
+        # them so they are neither scheduled on the pool nor re-solved.
+        from_disk: dict[str, dict] = {}
+        if self.store is not None:
+            for index in range(len(condensation.sccs)):
+                key = scc_keys[index]
+                if key in self._scc_store or key in from_disk:
+                    continue
+                wrapped = self.store.get("scc", key)
+                if wrapped is not None:
+                    from_disk[key] = wrapped[0]
+                    stats.store_hits += 1
         dirty_indices = {index for index in range(len(condensation.sccs))
-                         if scc_keys[index] not in self._scc_store}
+                         if scc_keys[index] not in self._scc_store
+                         and scc_keys[index] not in from_disk}
         presolved = self._presolve_dirty(program, graph, pointsto,
                                          condensation, consts, scc_keys,
                                          dirty_indices, stats)
         solved: dict = {}
         store: dict[str, dict] = {}
         dirty: list[str] = []
+        disk_writes: dict[str, dict] = {}
+        disk_touches: list[str] = []
         for wave in condensation.waves:
             for index in wave:
                 scc = condensation.sccs[index]
                 key = scc_keys[index]
                 component = self._scc_store.get(key)
-                if component is None:
-                    if presolved is not None:
+                if component is not None:
+                    stats.sccs_reused += 1
+                    disk_touches.append(key)
+                elif key in from_disk:
+                    component = from_disk[key]
+                    stats.sccs_reused += 1
+                else:
+                    if presolved is not None and index in presolved:
                         component = presolved[index]
                     else:
                         component = solve_scc(scc, ctx, graph, solved)
                     dirty.extend(scc)
-                else:
-                    stats.sccs_reused += 1
+                    disk_writes[key] = component
                 store[key] = component
                 solved.update(component)
         stats.dirty_sccs = len(condensation.sccs) - stats.sccs_reused
         stats.dirty_functions = sorted(dirty)
         self._scc_store = store
+        if self.store is not None:
+            self.store.put_many(
+                "scc", [(key, (component,))
+                        for key, component in disk_writes.items()])
+            self.store.touch("scc", disk_touches)
+            stats.store_writes += len(disk_writes)
         return solved
 
     def _presolve_dirty(self, program, graph, pointsto, condensation,
@@ -757,6 +813,8 @@ class IncrementalAnalyzer:
                           for name in sorted(loc_hashes))
         root_fp = _sha("\x00".join(root_parts))
         store: dict[str, dict] = {}
+        disk_writes: list[tuple[str, tuple]] = []
+        disk_touches: list[str] = []
         for name in ANALYSIS_ORDER:
             if name not in self.registry:
                 continue
@@ -777,14 +835,27 @@ class IncrementalAnalyzer:
             for key, functions in zip(keys, tasks):
                 payload = self._shard_store.get(key)
                 if payload is None:
-                    payload = analysis.run_shard(artifacts, functions)
-                    stats.shards_rerun += 1
+                    wrapped = (self.store.get("shard", key)
+                               if self.store is not None else None)
+                    if wrapped is not None:
+                        payload = wrapped[0]
+                        stats.shards_reused += 1
+                        stats.store_hits += 1
+                    else:
+                        payload = analysis.run_shard(artifacts, functions)
+                        stats.shards_rerun += 1
+                        disk_writes.append((key, (payload,)))
                 else:
                     stats.shards_reused += 1
+                    disk_touches.append(key)
                 store[key] = payload
                 payloads.append(payload)
             report.analyses[name] = analysis.merge(artifacts, payloads)
         self._shard_store = store
+        if self.store is not None:
+            self.store.put_many("shard", disk_writes)
+            self.store.touch("shard", disk_touches)
+            stats.store_writes += len(disk_writes)
 
     def analyze(self, files: tuple[CorpusFile, ...] | None = None) -> EngineReport:
         """Run one incremental pass; returns the merged engine report."""
@@ -866,7 +937,7 @@ class IncrementalAnalyzer:
         report.cache_stats = {
             "hits": stats.consts_reused + stats.sccs_reused + stats.shards_reused,
             "misses": stats.consts_solved + stats.dirty_sccs + stats.shards_rerun,
-            "disk_hits": 0,
+            "disk_hits": stats.store_hits,
             "evictions": 0,
             "const_solve_ms": 0.0,
         }

@@ -261,6 +261,20 @@ class TestWorkStealingExecutor:
         with pytest.raises(ValueError):
             WorkStealingExecutor(1, echo_handler)
 
+    def test_chunk_override_caps_dispatch(self):
+        with WorkStealingExecutor(2, echo_handler, chunk=1) as ex:
+            results = ex.run([Task(id=f"t{i}", kind="k", payload=i)
+                              for i in range(12)])
+        assert len(results) == 12
+        assert ex.stats.max_chunk == 1
+        assert ex.stats.to_dict()["max_chunk"] == 1
+        # chunk=1 means every dispatch carried exactly one task.
+        assert ex.stats.chunks == 12
+
+    def test_chunk_below_one_rejected(self):
+        with pytest.raises(ValueError, match="chunk"):
+            WorkStealingExecutor(2, echo_handler, chunk=0)
+
 
 def test_resolve_jobs():
     assert resolve_jobs(0) == (os.cpu_count() or 1)
